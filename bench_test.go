@@ -1,0 +1,196 @@
+package govhdl
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations for the design choices in DESIGN.md.
+//
+// Each iteration runs a complete verified simulation at a reduced ("smoke")
+// scale so `go test -bench` stays fast; the custom "speedup" metric is the
+// figure's y-axis (modeled sequential cost / modeled parallel makespan).
+// Paper-scale regeneration — the actual figure data in EXPERIMENTS.md — is
+// produced by cmd/benchfigs (or GOVHDL_PAPER=1 go test ./internal/figures).
+
+import (
+	"fmt"
+	"testing"
+
+	"govhdl/internal/circuits"
+	"govhdl/internal/figures"
+	"govhdl/internal/pdes"
+	"govhdl/internal/vtime"
+)
+
+// speedupBench measures one (circuit, protocol, workers) cell.
+func speedupBench(b *testing.B, build func() *circuits.Circuit, until vtime.Time, cfg pdes.Config) {
+	b.Helper()
+	// Sequential baseline measured once per benchmark.
+	seq := build()
+	seqRes, err := pdes.RunSequential(seq.Design.Build(), until, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := seq.Verify(until); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var speedup float64
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c := build()
+		if cfg.ThrottleWindow == 0 && cfg.Protocol != pdes.ProtoConservative {
+			cfg.ThrottleWindow = 4 * c.ClockHalf
+		}
+		res, err := pdes.Run(c.Design.Build(), cfg, until, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := c.Verify(until); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		speedup = seqRes.Makespan / res.Makespan
+		events = res.Metrics.Events
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(events), "events/op")
+}
+
+func figureBench(b *testing.B, circuit func(figures.Scale) (func() *circuits.Circuit, vtime.Time)) {
+	b.Helper()
+	build, until := circuit(figures.ScaleSmoke)
+	for _, cs := range figures.PaperConfigs() {
+		for _, w := range []int{1, 2, 4, 8, 16} {
+			cfg := cs.Cfg
+			cfg.Workers = w
+			b.Run(fmt.Sprintf("%s/w%d", cs.Name, w), func(b *testing.B) {
+				speedupBench(b, build, until, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFig6FSM regenerates the shape of the paper's Fig. 6: speedup of
+// the zero-delay FSM ensemble under the four protocol configurations.
+func BenchmarkFig6FSM(b *testing.B) { figureBench(b, figures.FSMCircuit) }
+
+// BenchmarkFig8IIR regenerates the shape of Fig. 8: the gate-level
+// Gray-Markel lattice IIR filter.
+func BenchmarkFig8IIR(b *testing.B) { figureBench(b, figures.IIRCircuit) }
+
+// BenchmarkFig10DCT regenerates the shape of Fig. 10: the gate-level DCT
+// processor.
+func BenchmarkFig10DCT(b *testing.B) { figureBench(b, figures.DCTCircuit) }
+
+// BenchmarkFig4 regenerates the Fig. 4 table cells: arbitrary vs.
+// user-consistent simultaneous-event handling, with and without lookahead.
+func BenchmarkFig4(b *testing.B) {
+	cells := []struct {
+		name string
+		cfg  pdes.Config
+	}{
+		{"cons-arb-nola", pdes.Config{Protocol: pdes.ProtoConservative}},
+		{"cons-arb-la", pdes.Config{Protocol: pdes.ProtoConservative, Lookahead: true}},
+		{"cons-user-la", pdes.Config{Protocol: pdes.ProtoConservative, Ordering: pdes.OrderUserConsistent, Lookahead: true}},
+		{"opt-arb", pdes.Config{Protocol: pdes.ProtoOptimistic}},
+		{"opt-user", pdes.Config{Protocol: pdes.ProtoOptimistic, Ordering: pdes.OrderUserConsistent}},
+	}
+	circuitsUnder := []struct {
+		name    string
+		circuit func(figures.Scale) (func() *circuits.Circuit, vtime.Time)
+	}{
+		{"FSM", figures.FSMCircuit},
+		{"IIR", figures.IIRCircuit},
+		{"DCT", figures.DCTCircuit},
+	}
+	for _, cu := range circuitsUnder {
+		build, until := cu.circuit(figures.ScaleSmoke)
+		for _, cell := range cells {
+			cfg := cell.cfg
+			cfg.Workers = 16
+			b.Run(cu.name+"/"+cell.name, func(b *testing.B) {
+				speedupBench(b, build, until, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCheckpoint sweeps the optimistic state-saving interval
+// (DESIGN.md: checkpoint interval with coast-forward on rollback).
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	build, until := figures.FSMCircuit(figures.ScaleSmoke)
+	for _, ck := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("every%d", ck), func(b *testing.B) {
+			speedupBench(b, build, until, pdes.Config{
+				Protocol: pdes.ProtoOptimistic, Workers: 8, CheckpointEvery: ck,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationPartition compares the paper's naive round-robin
+// partitioning with contiguous block partitioning.
+func BenchmarkAblationPartition(b *testing.B) {
+	build, until := figures.IIRCircuit(figures.ScaleSmoke)
+	for _, p := range []struct {
+		name string
+		p    pdes.Partition
+	}{{"roundrobin", pdes.PartitionRoundRobin}, {"block", pdes.PartitionBlock}} {
+		b.Run(p.name, func(b *testing.B) {
+			speedupBench(b, build, until, pdes.Config{
+				Protocol: pdes.ProtoDynamic, Workers: 8, Partition: p.p,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationGVTPeriod sweeps the GVT round trigger threshold.
+func BenchmarkAblationGVTPeriod(b *testing.B) {
+	build, until := figures.FSMCircuit(figures.ScaleSmoke)
+	for _, period := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("every%d", period), func(b *testing.B) {
+			speedupBench(b, build, until, pdes.Config{
+				Protocol: pdes.ProtoOptimistic, Workers: 8, GVTEvery: period,
+			})
+		})
+	}
+}
+
+// BenchmarkAblationThrottle sweeps the optimism bound (memory window).
+func BenchmarkAblationThrottle(b *testing.B) {
+	buildF, until := figures.FSMCircuit(figures.ScaleSmoke)
+	probe := buildF()
+	for _, mult := range []vtime.Time{2, 4, 16} {
+		b.Run(fmt.Sprintf("window%dxHalf", mult), func(b *testing.B) {
+			speedupBench(b, buildF, until, pdes.Config{
+				Protocol: pdes.ProtoOptimistic, Workers: 8,
+				ThrottleWindow: mult * probe.ClockHalf,
+			})
+		})
+	}
+}
+
+// BenchmarkSequentialKernel measures the raw sequential kernel event rate —
+// the "1 processor execution (improved for sequential simulation)" baseline
+// every speedup is measured against.
+func BenchmarkSequentialKernel(b *testing.B) {
+	build, until := figures.FSMCircuit(figures.ScaleSmoke)
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c := build()
+		res, err := pdes.RunSequential(c.Design.Build(), until, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Metrics.Events
+	}
+	b.ReportMetric(float64(events), "events/op")
+}
+
+// BenchmarkVHDLCompile measures front-end throughput (parse + elaborate).
+func BenchmarkVHDLCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile("blinker", Source{Name: "b.vhd", Text: facadeSrc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command benchfigs regenerates every table and figure of the paper's
+// evaluation section.
+//
+//	benchfigs               # all figures at paper scale (takes minutes)
+//	benchfigs -fig 6        # just Figure 6 (the FSM speedup curves)
+//	benchfigs -scale smoke  # fast reduced-scale versions
+//	benchfigs -ablations    # the ablation sweeps from DESIGN.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"govhdl/internal/circuits"
+	"govhdl/internal/figures"
+	"govhdl/internal/pdes"
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "regenerate one figure (4, 6, 8 or 10); 0 = all")
+		scaleStr  = flag.String("scale", "paper", "paper or smoke")
+		ablations = flag.Bool("ablations", false, "run the ablation sweeps instead of the paper figures")
+		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
+	)
+	flag.Parse()
+
+	scale := figures.ScalePaper
+	if *scaleStr == "smoke" {
+		scale = figures.ScaleSmoke
+	}
+	var progress io.Writer = os.Stdout
+	if *quiet {
+		progress = nil
+	}
+
+	if *ablations {
+		if err := runAblations(scale, os.Stdout, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfigs:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	figsToRun := []int{4, 6, 8, 10}
+	if *fig != 0 {
+		figsToRun = []int{*fig}
+	}
+	for _, f := range figsToRun {
+		var err error
+		if f == 4 {
+			err = figures.Fig4Table(scale, os.Stdout)
+		} else {
+			err = figures.SpeedupFigure(f, scale, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchfigs:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// runAblations sweeps the engine design choices called out in DESIGN.md.
+func runAblations(scale figures.Scale, out, progress io.Writer) error {
+	build, until := figures.FSMCircuit(scale)
+
+	sweep := func(title string, configs []figures.ConfigSpec) error {
+		series, seqCost, err := figures.Speedup(build, until, []int{8}, configs, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s (FSM, 8 workers, sequential cost %.0f)\n", title, seqCost)
+		for _, s := range series {
+			fmt.Fprintf(out, "  %-24s speedup %.2f\n", s.Name, s.Rows[0].Speedup)
+		}
+		fmt.Fprintln(out)
+		return nil
+	}
+
+	probe := build()
+	throttle := func(mult vtime.Time) pdes.Config {
+		return pdes.Config{Protocol: pdes.ProtoOptimistic, ThrottleWindow: mult * probe.ClockHalf}
+	}
+	if err := sweep("Ablation: optimism bound (throttle window)", []figures.ConfigSpec{
+		{Name: "window=2half", Cfg: throttle(2)},
+		{Name: "window=4half", Cfg: throttle(4)},
+		{Name: "window=16half", Cfg: throttle(16)},
+		{Name: "unbounded", Cfg: pdes.Config{Protocol: pdes.ProtoOptimistic, ThrottleWindow: ^vtime.Time(0) / 2}},
+	}); err != nil {
+		return err
+	}
+
+	ck := func(n int) pdes.Config {
+		return pdes.Config{Protocol: pdes.ProtoOptimistic, CheckpointEvery: n,
+			ThrottleWindow: 4 * probe.ClockHalf}
+	}
+	if err := sweep("Ablation: checkpoint interval", []figures.ConfigSpec{
+		{Name: "every1", Cfg: ck(1)}, {Name: "every4", Cfg: ck(4)}, {Name: "every16", Cfg: ck(16)},
+	}); err != nil {
+		return err
+	}
+
+	part := func(p pdes.Partition) pdes.Config {
+		return pdes.Config{Protocol: pdes.ProtoDynamic, Partition: p,
+			ThrottleWindow: 4 * probe.ClockHalf}
+	}
+	if err := sweep("Ablation: LP partitioning", []figures.ConfigSpec{
+		{Name: "roundrobin(paper)", Cfg: part(pdes.PartitionRoundRobin)},
+		{Name: "block", Cfg: part(pdes.PartitionBlock)},
+	}); err != nil {
+		return err
+	}
+
+	gvt := func(n int) pdes.Config {
+		return pdes.Config{Protocol: pdes.ProtoOptimistic, GVTEvery: n,
+			ThrottleWindow: 4 * probe.ClockHalf}
+	}
+	if err := sweep("Ablation: GVT round period", []figures.ConfigSpec{
+		{Name: "every256", Cfg: gvt(256)}, {Name: "every1024", Cfg: gvt(1024)},
+		{Name: "every4096", Cfg: gvt(4096)},
+	}); err != nil {
+		return err
+	}
+
+	_ = circuits.FSMOpts{}
+	_ = stats.Default()
+	return nil
+}

@@ -1,0 +1,280 @@
+// Command pvsim is the parallel/distributed VHDL simulator CLI.
+//
+// Simulate a VHDL testbench on 8 workers with the dynamic protocol:
+//
+//	pvsim -top tb -protocol dynamic -workers 8 -until 10us design.vhd
+//
+// Simulate a built-in benchmark circuit and dump a VCD:
+//
+//	pvsim -circuit fsm -workers 4 -vcd fsm.vcd
+//
+// Distributed simulation across two machines (both need the same sources):
+//
+//	host A: pvsim -top tb -listen :9190 -endpoints 3 -hosted 0,1 design.vhd
+//	host B: pvsim -top tb -connect hostA:9190 -endpoints 3 -hosted 2 design.vhd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"govhdl/internal/circuits"
+	"govhdl/internal/kernel"
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
+	"govhdl/internal/transport"
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vtime"
+)
+
+func main() {
+	var (
+		top       = flag.String("top", "", "top entity to elaborate (with VHDL files)")
+		circuit   = flag.String("circuit", "", "built-in benchmark circuit: fsm, iir or dct")
+		protocol  = flag.String("protocol", "dynamic", "seq, cons, opt, mixed or dynamic")
+		workers   = flag.Int("workers", 1, "number of parallel workers")
+		untilStr  = flag.String("until", "", "simulation horizon, e.g. 100ns, 2us (default: circuit default or 1ms)")
+		lookahead = flag.Bool("lookahead", false, "enable null messages (conservative lookahead)")
+		user      = flag.Bool("user", false, "user-consistent simultaneous-event ordering")
+		throttle  = flag.String("throttle", "", "optimism bound beyond GVT, e.g. 40ns (0 = unbounded)")
+		ckpt      = flag.Int("checkpoint", 1, "optimistic state-saving interval")
+		vcdPath   = flag.String("vcd", "", "write a value change dump to this file")
+		showTrace = flag.Bool("trace", false, "print committed value changes")
+		showStats = flag.Bool("stats", true, "print protocol metrics")
+		verify    = flag.Bool("verify", true, "verify built-in circuits against their reference models")
+		compare   = flag.Bool("compare", false, "also run the sequential kernel and require identical committed traces")
+
+		listen    = flag.String("listen", "", "distributed: listen address (this process hosts the controller)")
+		connect   = flag.String("connect", "", "distributed: hub address to join")
+		endpoints = flag.Int("endpoints", 0, "distributed: total endpoint count (controller + workers)")
+		hostedStr = flag.String("hosted", "", "distributed: comma-separated endpoint ids hosted here")
+	)
+	flag.Parse()
+
+	if err := run(*top, *circuit, *protocol, *workers, *untilStr, *lookahead,
+		*user, *throttle, *ckpt, *vcdPath, *showTrace, *showStats, *verify, *compare,
+		*listen, *connect, *endpoints, *hostedStr, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "pvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(top, circuit, protocol string, workers int, untilStr string,
+	lookahead, user bool, throttle string, ckpt int, vcdPath string,
+	showTrace, showStats, verify, compare bool,
+	listen, connect string, endpoints int, hostedStr string, files []string) error {
+
+	// buildDesign is reusable so -compare can construct an identical fresh
+	// model for the sequential reference run.
+	buildDesign := func(quiet bool) (*kernel.Design, *circuits.Circuit, vtime.Time, error) {
+		switch {
+		case circuit != "":
+			var bench *circuits.Circuit
+			switch strings.ToLower(circuit) {
+			case "fsm":
+				bench = circuits.BuildFSM(circuits.FSMOpts{})
+			case "iir":
+				bench = circuits.BuildIIR(circuits.IIROpts{})
+			case "dct":
+				bench = circuits.BuildDCT(circuits.DCTOpts{})
+			default:
+				return nil, nil, 0, fmt.Errorf("unknown circuit %q (fsm, iir or dct)", circuit)
+			}
+			if !quiet {
+				fmt.Printf("circuit: %v\n", bench)
+			}
+			return bench.Design, bench, bench.DefaultHorizon, nil
+		case len(files) > 0:
+			if top == "" {
+				return nil, nil, 0, fmt.Errorf("-top is required with VHDL files")
+			}
+			lib := vhdl.NewLibrary()
+			for _, f := range files {
+				src, err := os.ReadFile(f)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				if err := lib.ParseAndAdd(f, string(src)); err != nil {
+					return nil, nil, 0, err
+				}
+			}
+			d, err := lib.Elaborate(top)
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			if !quiet {
+				fmt.Printf("design: %s (%d signals + %d processes = %d LPs)\n",
+					top, d.NumSignals(), d.NumProcesses(), d.NumLPs())
+			}
+			return d, nil, 1 * vtime.MS, nil
+		}
+		return nil, nil, 0, fmt.Errorf("nothing to simulate: give VHDL files with -top, or -circuit")
+	}
+
+	design, bench, until, err := buildDesign(false)
+	if err != nil {
+		return err
+	}
+
+	if untilStr != "" {
+		t, err := parseTime(untilStr)
+		if err != nil {
+			return err
+		}
+		until = t
+	}
+
+	cfg := pdes.Config{
+		Workers:         workers,
+		Lookahead:       lookahead,
+		CheckpointEvery: ckpt,
+	}
+	switch strings.ToLower(protocol) {
+	case "seq", "sequential":
+		cfg.Protocol = pdes.ProtoSequential
+	case "cons", "conservative":
+		cfg.Protocol = pdes.ProtoConservative
+	case "opt", "optimistic":
+		cfg.Protocol = pdes.ProtoOptimistic
+	case "mixed":
+		cfg.Protocol = pdes.ProtoMixed
+	case "dyn", "dynamic":
+		cfg.Protocol = pdes.ProtoDynamic
+	default:
+		return fmt.Errorf("unknown protocol %q", protocol)
+	}
+	if user {
+		cfg.Ordering = pdes.OrderUserConsistent
+	}
+	if throttle != "" {
+		t, err := parseTime(throttle)
+		if err != nil {
+			return err
+		}
+		cfg.ThrottleWindow = t
+	}
+
+	sys := design.Build()
+	rec := trace.NewRecorder()
+
+	var res *pdes.Result
+	switch {
+	case listen != "" || connect != "":
+		hosted, perr := parseInts(hostedStr)
+		if perr != nil || len(hosted) == 0 {
+			return fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
+		}
+		if endpoints < 2 {
+			return fmt.Errorf("distributed mode needs -endpoints >= 2")
+		}
+		cfg.Workers = endpoints - 1
+		var node *transport.Node
+		if listen != "" {
+			fmt.Printf("listening on %s for %d endpoints...\n", listen, endpoints)
+			node, err = transport.Listen(listen, endpoints, hosted)
+		} else {
+			node, err = transport.Dial(connect, endpoints, hosted)
+		}
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		res, err = pdes.RunOn(sys, cfg, until, rec, node.Endpoints())
+	case cfg.Protocol == pdes.ProtoSequential:
+		res, err = pdes.RunSequential(sys, until, rec)
+	default:
+		res, err = pdes.Run(sys, cfg, until, rec)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulated to %v in %v (GVT %v)\n", until, res.Wall.Round(1e6), res.GVT)
+	if showStats {
+		fmt.Printf("metrics: %v\n", res.Metrics)
+		if res.Makespan > 0 {
+			fmt.Printf("modeled makespan: %.0f cost units\n", res.Makespan)
+		}
+	}
+	if bench != nil && verify {
+		if err := bench.Verify(until); err != nil {
+			return fmt.Errorf("verification FAILED: %w", err)
+		}
+		fmt.Println("verification: OK (matches the bit-true reference model)")
+	}
+	if compare {
+		refDesign, _, _, err := buildDesign(true)
+		if err != nil {
+			return err
+		}
+		refSys := refDesign.Build()
+		refRec := trace.NewRecorder()
+		if _, err := pdes.RunSequential(refSys, until, refRec); err != nil {
+			return err
+		}
+		if ok, diff := trace.Equal(sys, rec, refRec); !ok {
+			return fmt.Errorf("trace comparison FAILED: %s", diff)
+		}
+		fmt.Printf("compare: OK (%d committed records identical to the sequential kernel)\n", rec.Len())
+	}
+	if showTrace {
+		for _, line := range rec.Lines(sys) {
+			fmt.Println(line)
+		}
+	}
+	if vcdPath != "" {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.WriteVCD(f, sys, rec, design.Name); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", vcdPath)
+	}
+	return nil
+}
+
+// parseTime parses "100ns", "2us", "1ms", "42" (fs).
+func parseTime(s string) (vtime.Time, error) {
+	units := []struct {
+		suffix string
+		mult   vtime.Time
+	}{
+		{"sec", vtime.S}, {"ms", vtime.MS}, {"us", vtime.US},
+		{"ns", vtime.NS}, {"ps", vtime.PS}, {"fs", vtime.FS},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			n, err := strconv.ParseUint(strings.TrimSuffix(s, u.suffix), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad time %q", s)
+			}
+			return vtime.Time(n) * u.mult, nil
+		}
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q (use e.g. 100ns)", s)
+	}
+	return vtime.Time(n), nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

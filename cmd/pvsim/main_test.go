@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+
+	"govhdl/internal/vtime"
+)
+
+func TestParseTime(t *testing.T) {
+	cases := map[string]vtime.Time{
+		"100ns": 100 * vtime.NS,
+		"2us":   2 * vtime.US,
+		"1ms":   1 * vtime.MS,
+		"5ps":   5 * vtime.PS,
+		"7fs":   7,
+		"3sec":  3 * vtime.S,
+		"42":    42,
+	}
+	for in, want := range cases {
+		got, err := parseTime(in)
+		if err != nil || got != want {
+			t.Errorf("parseTime(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "ns", "1.5ns", "x42", "10 ns"} {
+		if _, err := parseTime(bad); err == nil {
+			t.Errorf("parseTime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("0, 1,2")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if out, err := parseInts(""); err != nil || out != nil {
+		t.Errorf("empty = %v, %v", out, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("", "", "dynamic", 1, "", false, false, "", 1, "", false, false, false, false,
+		"", "", 0, "", nil); err == nil {
+		t.Error("run with nothing to simulate succeeded")
+	}
+	if err := run("", "nosuch", "dynamic", 1, "", false, false, "", 1, "", false, false, false, false,
+		"", "", 0, "", nil); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+	if err := run("", "fsm", "warp9", 1, "", false, false, "", 1, "", false, false, false, false,
+		"", "", 0, "", nil); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}

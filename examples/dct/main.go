@@ -1,0 +1,56 @@
+// The paper's gate-level DCT processor (Fig. 9/10): multiply-accumulate
+// rows with mux-tree coefficient ROMs over a streamed input. The paper's
+// headline result is that the dynamic self-adapting configuration doubles
+// the speedup of the static ones on this circuit; this example compares the
+// static optimistic configuration against the dynamic one.
+//
+//	go run ./examples/dct
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"govhdl"
+	"govhdl/internal/pdes"
+)
+
+func main() {
+	build := func() *govhdl.Benchmark { return govhdl.BenchmarkDCT(2, 6) }
+
+	base := build()
+	horizon := base.DefaultHorizon
+	fmt.Printf("circuit: %v\n", base)
+	seq, err := pdes.RunSequential(base.Design.Build(), horizon, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := base.Verify(horizon); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %d events\n\n", seq.Metrics.Events)
+
+	for _, proto := range []struct {
+		name string
+		p    govhdl.Protocol
+	}{{"optimistic", govhdl.Optimistic}, {"dynamic", govhdl.Dynamic}} {
+		c := build()
+		model := govhdl.FromDesign(c.Design)
+		res, err := model.Simulate(govhdl.Options{
+			Protocol:       proto.p,
+			Workers:        8,
+			Until:          horizon,
+			NoTrace:        true,
+			ThrottleWindow: 4 * c.ClockHalf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := c.Verify(horizon); err != nil {
+			log.Fatalf("%s: verification failed: %v", proto.name, err)
+		}
+		fmt.Printf("%-11s speedup %.2f  mode-switches %d  efficiency %.3f\n",
+			proto.name, seq.Makespan/res.Run.Makespan,
+			res.Run.Metrics.ModeSwitches, res.Run.Metrics.Efficiency())
+	}
+}

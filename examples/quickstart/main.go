@@ -1,0 +1,65 @@
+// Quickstart: compile a small VHDL testbench and simulate it in parallel
+// with the dynamic self-adapting protocol, then print the committed value
+// changes.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"govhdl"
+)
+
+const src = `
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity counter_tb is end entity;
+
+architecture sim of counter_tb is
+  signal clk : std_logic := '0';
+  signal q   : std_logic_vector(3 downto 0) := (others => '0');
+begin
+  clkgen : process
+  begin
+    wait for 5 ns;
+    clk <= not clk;
+  end process;
+
+  count : process (clk)
+  begin
+    if rising_edge(clk) then
+      q <= q + 1;
+    end if;
+  end process;
+end architecture;
+`
+
+func main() {
+	model, err := govhdl.Compile("counter_tb", govhdl.Source{Name: "counter_tb.vhd", Text: src})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("elaborated %d LPs (%d signals + %d processes)\n",
+		model.LPs(), model.Design.NumSignals(), model.Design.NumProcesses())
+
+	res, err := model.Simulate(govhdl.Options{
+		Protocol: govhdl.Dynamic,
+		Workers:  4,
+		Until:    100 * govhdl.NS,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("final GVT %v, %d events, %d GVT rounds\n",
+		res.Run.GVT, res.Run.Metrics.Events, res.Run.Metrics.GVTRounds)
+	for _, line := range res.TraceLines() {
+		fmt.Println(line)
+	}
+	if v, ok := model.SignalValue("counter_tb.q"); ok {
+		fmt.Printf("final q = %v\n", v)
+	}
+}

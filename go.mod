@@ -1,0 +1,3 @@
+module govhdl
+
+go 1.22

@@ -1,0 +1,97 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"govhdl/internal/pdes"
+)
+
+func TestSpeedupSmoke(t *testing.T) {
+	build, until := FSMCircuit(ScaleSmoke)
+	series, seqCost, err := Speedup(build, until, []int{1, 2, 4}, PaperConfigs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqCost <= 0 {
+		t.Fatal("non-positive sequential cost")
+	}
+	if len(series) != 4 {
+		t.Fatalf("got %d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Rows) != 3 {
+			t.Fatalf("series %s has %d rows", s.Name, len(s.Rows))
+		}
+		for _, r := range s.Rows {
+			if r.Speedup <= 0 {
+				t.Errorf("series %s w=%d: speedup %f", s.Name, r.Workers, r.Speedup)
+			}
+		}
+	}
+}
+
+func TestSpeedupFigureSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SpeedupFigure(6, ScaleSmoke, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "cons", "opt", "mixed", "dynamic", "procs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	if err := SpeedupFigure(7, ScaleSmoke, &buf); err == nil {
+		t.Error("figure 7 accepted (not a speedup figure)")
+	}
+}
+
+func TestFig4Smoke(t *testing.T) {
+	build, until := IIRCircuit(ScaleSmoke)
+	row, err := Fig4("IIR", build, until, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.ConsUserErr != "blocks" {
+		t.Errorf("cons/user/-la = %q, want blocks", row.ConsUserErr)
+	}
+	if row.NullsLA == 0 {
+		t.Error("user-consistent conservative run sent no null messages")
+	}
+	for name, v := range map[string]float64{
+		"cons arb -la": row.ConsArbNoLA,
+		"cons arb +la": row.ConsArbLA,
+		"cons user+la": row.ConsUserLA,
+		"opt arb":      row.OptArb,
+		"opt user":     row.OptUser,
+	} {
+		if v <= 0 {
+			t.Errorf("%s: non-positive cost %f", name, v)
+		}
+	}
+	out := FormatFig4([]*Fig4Row{row})
+	if !strings.Contains(out, "blocks") || !strings.Contains(out, "IIR") {
+		t.Errorf("bad table:\n%s", out)
+	}
+}
+
+func TestFig4FSMUserConsistentCompletes(t *testing.T) {
+	// The zero-delay FSM under user-consistent conservative ordering with
+	// lookahead exercises the sensitivity-aware promise chain through
+	// register loops; it must complete, not deadlock.
+	build, until := FSMCircuit(ScaleSmoke)
+	c := build()
+	if _, err := pdes.Run(c.Design.Build(), pdes.Config{
+		Workers:   4,
+		Protocol:  pdes.ProtoConservative,
+		Ordering:  pdes.OrderUserConsistent,
+		Lookahead: true,
+	}, until, nil); err != nil {
+		t.Fatalf("user-consistent FSM with lookahead failed: %v", err)
+	}
+	if err := c.Verify(until); err != nil {
+		t.Fatal(err)
+	}
+}

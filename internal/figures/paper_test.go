@@ -1,0 +1,45 @@
+package figures
+
+import (
+	"os"
+	"testing"
+)
+
+// Paper-scale figure regeneration is gated behind GOVHDL_PAPER=1: the full
+// sweeps take minutes (cmd/benchfigs is the usual entry point). The smoke
+// tests in figures_test.go cover the same code paths at small scale.
+
+func paperScale(t *testing.T) {
+	t.Helper()
+	if os.Getenv("GOVHDL_PAPER") == "" {
+		t.Skip("set GOVHDL_PAPER=1 to regenerate paper-scale figures")
+	}
+}
+
+func TestFig6PaperScale(t *testing.T) {
+	paperScale(t)
+	if err := SpeedupFigure(6, ScalePaper, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8PaperScale(t *testing.T) {
+	paperScale(t)
+	if err := SpeedupFigure(8, ScalePaper, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig10PaperScale(t *testing.T) {
+	paperScale(t)
+	if err := SpeedupFigure(10, ScalePaper, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig4PaperScale(t *testing.T) {
+	paperScale(t)
+	if err := Fig4Table(ScalePaper, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+
+	"govhdl/internal/stdlogic"
+	"govhdl/internal/vtime"
+)
+
+// editDriver applies edits to a fresh driver at `now` and returns it.
+func editDriver(now vtime.VT, edits ...Edit) *driver {
+	s := &signalLP{sig: &Signal{Name: "t"}}
+	d := &driver{driving: stdlogic.L0}
+	for _, e := range edits {
+		s.applyEdit(d, now, e)
+	}
+	return d
+}
+
+func inertial(v Value, after vtime.Time) Edit {
+	return Edit{Wave: []WaveElem{{Value: v, After: after}}}
+}
+
+func transport(v Value, after vtime.Time) Edit {
+	return Edit{Wave: []WaveElem{{Value: v, After: after}}, Transport: true}
+}
+
+func TestWaveformDeleteAtOrAfter(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// Schedule at +10, then a new assignment at +5 deletes it.
+	d := editDriver(now, transport(stdlogic.L1, 10), transport(stdlogic.L0, 5))
+	if len(d.wave) != 1 {
+		t.Fatalf("wave has %d transactions, want 1", len(d.wave))
+	}
+	if d.wave[0].at.PT != 105 || !ValueEqual(d.wave[0].val, stdlogic.L0) {
+		t.Fatalf("surviving transaction %v", d.wave[0])
+	}
+}
+
+func TestWaveformTransportKeepsEarlier(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// Transport: an earlier pending transaction survives a later one.
+	d := editDriver(now, transport(stdlogic.L1, 5), transport(stdlogic.L0, 10))
+	if len(d.wave) != 2 {
+		t.Fatalf("wave has %d transactions, want 2", len(d.wave))
+	}
+}
+
+func TestWaveformInertialRejectsDifferentValue(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// Inertial with default rejection (= delay): a pending '1' at +5 is
+	// rejected by a new '0' at +10 (different value inside the window).
+	d := editDriver(now, inertial(stdlogic.L1, 5), inertial(stdlogic.L0, 10))
+	if len(d.wave) != 1 {
+		t.Fatalf("wave has %d transactions, want 1", len(d.wave))
+	}
+	if d.wave[0].at.PT != 110 {
+		t.Fatalf("surviving transaction at %v", d.wave[0].at)
+	}
+}
+
+func TestWaveformInertialKeepsEqualValueRun(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// A pending transaction with the SAME value immediately preceding the
+	// new one is kept (the marking rule).
+	d := editDriver(now, inertial(stdlogic.L1, 5), inertial(stdlogic.L1, 10))
+	if len(d.wave) != 2 {
+		t.Fatalf("wave has %d transactions, want 2 (equal-value run kept)", len(d.wave))
+	}
+}
+
+func TestWaveformRejectWindow(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// reject 3 inertial ... after 10: window is [107, 110); a pending
+	// transaction at 105 is outside it and survives.
+	d := editDriver(now,
+		transport(stdlogic.L1, 5),
+		Edit{Wave: []WaveElem{{Value: stdlogic.L0, After: 10}}, Reject: 3})
+	if len(d.wave) != 2 {
+		t.Fatalf("wave has %d transactions, want 2", len(d.wave))
+	}
+	// A pending transaction at 108 (inside the window, different value)
+	// is rejected.
+	d = editDriver(now,
+		transport(stdlogic.L1, 8),
+		Edit{Wave: []WaveElem{{Value: stdlogic.L0, After: 10}}, Reject: 3})
+	if len(d.wave) != 1 {
+		t.Fatalf("wave has %d transactions, want 1", len(d.wave))
+	}
+}
+
+func TestWaveformMultiElement(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// s <= '0' after 2, '1' after 5, 'Z' after 9.
+	d := editDriver(now, Edit{Wave: []WaveElem{
+		{Value: stdlogic.L0, After: 2},
+		{Value: stdlogic.L1, After: 5},
+		{Value: stdlogic.Z, After: 9},
+	}})
+	if len(d.wave) != 3 {
+		t.Fatalf("wave has %d transactions, want 3", len(d.wave))
+	}
+	for i := 1; i < len(d.wave); i++ {
+		if !d.wave[i-1].at.Less(d.wave[i].at) {
+			t.Fatal("waveform not strictly increasing")
+		}
+	}
+}
+
+func TestWaveformDeltaAssignsReplace(t *testing.T) {
+	now := vtime.VT{PT: 100, LT: 3}
+	// Two delta assignments in one run: the second wins entirely.
+	d := editDriver(now, inertial(stdlogic.L1, 0), inertial(stdlogic.L0, 0))
+	if len(d.wave) != 1 || !ValueEqual(d.wave[0].val, stdlogic.L0) {
+		t.Fatalf("wave %v", d.wave)
+	}
+	if d.wave[0].at != now.NextPhase() {
+		t.Fatalf("delta transaction at %v", d.wave[0].at)
+	}
+}
+
+// TestWaveformInvariants is a property test: after any random edit
+// sequence, the projected output waveform is strictly increasing in time
+// and entirely in the future.
+func TestWaveformInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := []stdlogic.Std{stdlogic.L0, stdlogic.L1, stdlogic.Z, stdlogic.X}
+	for iter := 0; iter < 300; iter++ {
+		now := vtime.VT{PT: vtime.Time(rng.Intn(50) + 1), LT: uint64(3 * (rng.Intn(3) + 1))}
+		var edits []Edit
+		for n := rng.Intn(6) + 1; n > 0; n-- {
+			e := Edit{Transport: rng.Intn(2) == 0}
+			for k := rng.Intn(3) + 1; k > 0; k-- {
+				e.Wave = append(e.Wave, WaveElem{
+					Value: vals[rng.Intn(len(vals))],
+					After: vtime.Time(rng.Intn(8)),
+				})
+			}
+			if !e.Transport && rng.Intn(2) == 0 {
+				e.Reject = vtime.Time(rng.Intn(4))
+			}
+			edits = append(edits, e)
+		}
+		d := editDriver(now, edits...)
+		for i, tr := range d.wave {
+			if !now.Less(tr.at) {
+				t.Fatalf("iter %d: transaction %d at %v not after now %v (edits %+v)",
+					iter, i, tr.at, now, edits)
+			}
+			if i > 0 && !d.wave[i-1].at.Less(tr.at) {
+				t.Fatalf("iter %d: waveform not strictly increasing: %v then %v",
+					iter, d.wave[i-1].at, tr.at)
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoreRoundTrip: restoring a snapshot must reproduce the
+// exact pre-snapshot state even after further mutation, and the snapshot
+// must stay reusable.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	sig := &Signal{Name: "s", resolution: StdResolution}
+	lp := &signalLP{sig: sig, state: &signalState{
+		effective: stdlogic.L0,
+		drivers: []driver{{
+			driving: stdlogic.L1,
+			wave:    []transaction{{at: vtime.VT{PT: 5}, val: stdlogic.Z}},
+		}},
+	}}
+	snap := lp.SaveState()
+	lp.state.drivers[0].driving = stdlogic.X
+	lp.state.drivers[0].wave = nil
+	lp.state.effective = stdlogic.W
+
+	lp.RestoreState(snap)
+	if !ValueEqual(lp.state.drivers[0].driving, stdlogic.L1) ||
+		len(lp.state.drivers[0].wave) != 1 ||
+		!ValueEqual(lp.state.effective, stdlogic.L0) {
+		t.Fatalf("restore produced %+v", lp.state)
+	}
+	// Mutate again and restore again from the SAME snapshot.
+	lp.state.drivers[0].wave = append(lp.state.drivers[0].wave, transaction{at: vtime.VT{PT: 9}})
+	lp.RestoreState(snap)
+	if len(lp.state.drivers[0].wave) != 1 {
+		t.Fatal("snapshot was corrupted by a restore-mutate cycle")
+	}
+}
+
+func TestProcessSnapshotCoversBehavior(t *testing.T) {
+	proc := &Process{Name: "p"}
+	beh := &ClockGen{Half: 5 * vtime.NS}
+	lp := &processLP{
+		proc:     proc,
+		behavior: beh,
+		state:    &procState{ports: make([]port, 0)},
+	}
+	snap := lp.SaveState()
+	beh.high = true
+	lp.state.timeoutSeq = 42
+	lp.RestoreState(snap)
+	if beh.high {
+		t.Error("behavior state not restored")
+	}
+	if lp.state.timeoutSeq != 0 {
+		t.Error("kernel state not restored")
+	}
+}

@@ -1,0 +1,220 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"govhdl/internal/kernel"
+	"govhdl/internal/pdes"
+	"govhdl/internal/stdlogic"
+	"govhdl/internal/vtime"
+)
+
+func settle(t *testing.T, b *Builder, until vtime.Time) *kernel.Design {
+	t.Helper()
+	d := b.Design()
+	if _, err := pdes.RunSequential(d.Build(), until, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return d
+}
+
+func TestGateTruthTables(t *testing.T) {
+	cases := []struct {
+		name string
+		add  func(b *Builder, out, x, y *kernel.Signal)
+		fn   func(x, y bool) bool
+	}{
+		{"and", func(b *Builder, o, x, y *kernel.Signal) { b.And(o, x, y) }, func(x, y bool) bool { return x && y }},
+		{"or", func(b *Builder, o, x, y *kernel.Signal) { b.Or(o, x, y) }, func(x, y bool) bool { return x || y }},
+		{"nand", func(b *Builder, o, x, y *kernel.Signal) { b.Nand(o, x, y) }, func(x, y bool) bool { return !(x && y) }},
+		{"nor", func(b *Builder, o, x, y *kernel.Signal) { b.Nor(o, x, y) }, func(x, y bool) bool { return !(x || y) }},
+		{"xor", func(b *Builder, o, x, y *kernel.Signal) { b.Xor(o, x, y) }, func(x, y bool) bool { return x != y }},
+		{"xnor", func(b *Builder, o, x, y *kernel.Signal) { b.Xnor(o, x, y) }, func(x, y bool) bool { return x == y }},
+	}
+	for _, c := range cases {
+		for bits := 0; bits < 4; bits++ {
+			xv, yv := bits&1 != 0, bits&2 != 0
+			b := New("g", vtime.NS)
+			x, y, o := b.Wire("x"), b.Wire("y"), b.Wire("o")
+			c.add(b, o, x, y)
+			b.DriveBus(Bus{x}, []VecStep{{Delay: vtime.NS, Value: boolU(xv)}})
+			b.DriveBus(Bus{y}, []VecStep{{Delay: vtime.NS, Value: boolU(yv)}})
+			d := settle(t, b, 20*vtime.NS)
+			got := d.Effective(o).(stdlogic.Std)
+			if stdlogic.IsHigh(got) != c.fn(xv, yv) || !stdlogic.Is01(got) {
+				t.Errorf("%s(%v,%v) = %v", c.name, xv, yv, got)
+			}
+		}
+	}
+}
+
+func boolU(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestRippleAdderExhaustive4Bit(t *testing.T) {
+	for a := uint64(0); a < 16; a++ {
+		for x := uint64(0); x < 16; x++ {
+			b := New("add", vtime.NS)
+			ab := b.NewBus("a", 4)
+			xb := b.NewBus("x", 4)
+			sum := b.NewBus("s", 4)
+			cout := b.RippleAdder(sum, ab, xb, nil)
+			b.DriveBus(ab, []VecStep{{Delay: vtime.NS, Value: a}})
+			b.DriveBus(xb, []VecStep{{Delay: vtime.NS, Value: x}})
+			d := settle(t, b, 100*vtime.NS)
+			got, ok := BusValue(d, sum)
+			if !ok {
+				t.Fatalf("%d+%d: sum not settled", a, x)
+			}
+			co := stdlogic.IsHigh(d.Effective(cout).(stdlogic.Std))
+			total := got
+			if co {
+				total += 16
+			}
+			if total != a+x {
+				t.Errorf("%d+%d = %d (cout=%v), want %d", a, x, got, co, a+x)
+			}
+		}
+	}
+}
+
+func TestRippleAdderRandom16Bit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		a, x := uint64(rng.Intn(1<<16)), uint64(rng.Intn(1<<16))
+		b := New("add16", vtime.NS)
+		ab := b.NewBus("a", 16)
+		xb := b.NewBus("x", 16)
+		sum := b.NewBus("s", 16)
+		b.RippleAdder(sum, ab, xb, nil)
+		b.DriveBus(ab, []VecStep{{Delay: vtime.NS, Value: a}})
+		b.DriveBus(xb, []VecStep{{Delay: vtime.NS, Value: x}})
+		d := settle(t, b, 200*vtime.NS)
+		got, ok := BusValue(d, sum)
+		if !ok || got != (a+x)&0xffff {
+			t.Errorf("%d+%d = %d ok=%v, want %d", a, x, got, ok, (a+x)&0xffff)
+		}
+	}
+}
+
+func TestArrayMultiplier(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := [][2]uint64{{0, 0}, {1, 1}, {15, 15}, {1, 9}, {8, 8}}
+	for i := 0; i < 8; i++ {
+		cases = append(cases, [2]uint64{uint64(rng.Intn(16)), uint64(rng.Intn(16))})
+	}
+	for _, c := range cases {
+		b := New("mul", vtime.NS)
+		ab := b.NewBus("a", 4)
+		xb := b.NewBus("x", 4)
+		p := b.ArrayMultiplier(ab, xb)
+		if len(p) != 8 {
+			t.Fatalf("product width %d", len(p))
+		}
+		b.DriveBus(ab, []VecStep{{Delay: vtime.NS, Value: c[0]}})
+		b.DriveBus(xb, []VecStep{{Delay: vtime.NS, Value: c[1]}})
+		d := settle(t, b, 400*vtime.NS)
+		got, ok := BusValue(d, p)
+		if !ok || got != c[0]*c[1] {
+			t.Errorf("%d*%d = %d ok=%v, want %d", c[0], c[1], got, ok, c[0]*c[1])
+		}
+	}
+}
+
+func TestRegisterCapturesOnRisingEdge(t *testing.T) {
+	b := New("reg", vtime.NS)
+	clk := b.Clock("clk", 10*vtime.NS)
+	din := b.NewBus("d", 4)
+	q := b.NewBus("q", 4)
+	b.Register(q, din, clk)
+	// Data becomes 0b1010 at 15ns: the edge at 10ns must not see it, the
+	// edge at 30ns must.
+	b.DriveBus(din, []VecStep{{Delay: 15 * vtime.NS, Value: 0b1010}})
+	d := settle(t, b, 45*vtime.NS)
+	if got, ok := BusValue(d, q); !ok || got != 0b1010 {
+		t.Fatalf("q = %d ok=%v, want 0b1010", got, ok)
+	}
+
+	b2 := New("reg2", vtime.NS)
+	clk2 := b2.Clock("clk", 10*vtime.NS)
+	din2 := b2.NewBus("d", 4)
+	q2 := b2.NewBus("q", 4)
+	b2.Register(q2, din2, clk2)
+	b2.DriveBus(din2, []VecStep{{Delay: 15 * vtime.NS, Value: 0b1010}})
+	d2 := settle(t, b2, 25*vtime.NS) // only the 10ns edge has happened
+	if got, ok := BusValue(d2, q2); !ok || got != 0 {
+		t.Fatalf("q after first edge = %d ok=%v, want 0", got, ok)
+	}
+}
+
+func TestMux2(t *testing.T) {
+	for _, sel := range []uint64{0, 1} {
+		b := New("mux", vtime.NS)
+		s, x, y, o := b.Wire("s"), b.Wire("x"), b.Wire("y"), b.Wire("o")
+		b.Mux2(o, s, x, y)
+		b.DriveBus(Bus{s}, []VecStep{{Delay: vtime.NS, Value: sel}})
+		b.DriveBus(Bus{x}, []VecStep{{Delay: vtime.NS, Value: 0}})
+		b.DriveBus(Bus{y}, []VecStep{{Delay: vtime.NS, Value: 1}})
+		d := settle(t, b, 20*vtime.NS)
+		got := d.Effective(o).(stdlogic.Std)
+		want := sel == 1 // out = y when sel='1'
+		if stdlogic.IsHigh(got) != want {
+			t.Errorf("mux sel=%d -> %v", sel, got)
+		}
+	}
+}
+
+func TestLPCountsAreBipartite(t *testing.T) {
+	b := New("count", vtime.NS)
+	ab := b.NewBus("a", 8)
+	xb := b.NewBus("x", 8)
+	sum := b.NewBus("s", 8)
+	b.RippleAdder(sum, ab, xb, nil)
+	d := b.Design()
+	if d.NumLPs() != d.NumSignals()+d.NumProcesses() {
+		t.Error("LP count is not signals + processes")
+	}
+	// 8 full adders at 5 gates each.
+	if d.NumProcesses() != 40 {
+		t.Errorf("8-bit ripple adder has %d gate processes, want 40", d.NumProcesses())
+	}
+	t.Logf("8-bit adder: %d signals + %d processes = %d LPs",
+		d.NumSignals(), d.NumProcesses(), d.NumLPs())
+}
+
+func TestAdderParallelConsistency(t *testing.T) {
+	// One gate-level adder simulated under the dynamic protocol with 4
+	// workers must settle to the same answer.
+	b := New("addp", vtime.NS)
+	ab := b.NewBus("a", 8)
+	xb := b.NewBus("x", 8)
+	sum := b.NewBus("s", 8)
+	b.RippleAdder(sum, ab, xb, nil)
+	b.DriveBus(ab, []VecStep{{Delay: vtime.NS, Value: 123}})
+	b.DriveBus(xb, []VecStep{{Delay: vtime.NS, Value: 99}})
+	d := b.Design()
+	if _, err := pdes.Run(d.Build(), pdes.Config{
+		Workers: 4, Protocol: pdes.ProtoDynamic, GVTEvery: 128,
+	}, 200*vtime.NS, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got, ok := BusValue(d, sum); !ok || got != (123+99)&0xff {
+		t.Fatalf("parallel sum = %d ok=%v, want %d", got, ok, (123+99)&0xff)
+	}
+}
+
+func ExampleBuilder() {
+	b := New("half-adder", vtime.NS)
+	x, y := b.Wire("x"), b.Wire("y")
+	sum, carry := b.Wire("sum"), b.Wire("carry")
+	b.Xor(sum, x, y)
+	b.And(carry, x, y)
+	fmt.Println(b.Design().NumLPs(), "LPs")
+	// Output: 6 LPs
+}

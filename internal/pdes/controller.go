@@ -1,0 +1,206 @@
+package pdes
+
+import (
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+// controller runs on endpoint 0 and coordinates the stop-the-world GVT
+// rounds: pause every worker, match cumulative send/receive counts so no
+// message is in transit, take the global minimum of unprocessed event
+// timestamps, broadcast the new GVT together with mode switches, and detect
+// termination and deadlock.
+type controller struct {
+	ep      Endpoint
+	cfg     *Config
+	horizon vtime.VT
+	workers int // worker endpoints are 1..workers
+	metrics *stats.Metrics
+	modes   []Mode // authoritative mode table
+
+	gvt        vtime.VT
+	finalClock float64
+	err        *SimError
+
+	rounds        uint64
+	prevGVT       vtime.VT
+	prevProcessed uint64
+}
+
+func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, metrics *stats.Metrics) *controller {
+	return &controller{
+		ep:      ep,
+		cfg:     cfg,
+		horizon: horizon,
+		workers: ep.N() - 1,
+		metrics: metrics,
+		modes:   modes,
+	}
+}
+
+func (c *controller) run() {
+	// Wait until every worker has finished initialization.
+	ready := make([]bool, c.workers+1)
+	for n := 0; n < c.workers; {
+		m := c.ep.Recv()
+		switch m.Kind {
+		case msgFatal:
+			c.abort(m.Err)
+			return
+		case msgIdle:
+			if !ready[m.From] {
+				ready[m.From] = true
+				n++
+			}
+		}
+	}
+
+	stallCandidate := true // the initial all-ready state counts as all-idle
+	for {
+		done, stopped := c.round(stallCandidate)
+		if stopped || done {
+			return
+		}
+		// Wait for the next trigger: a request, or all workers idle.
+		idle := make([]bool, c.workers+1)
+		idleCount := 0
+		stallCandidate = false
+		for {
+			m := c.ep.Recv()
+			if m.Kind == msgFatal {
+				c.abort(m.Err)
+				return
+			}
+			if m.Kind != msgIdle {
+				continue
+			}
+			if m.Request {
+				break
+			}
+			if m.Idle && !idle[m.From] {
+				idle[m.From] = true
+				idleCount++
+			}
+			if idleCount == c.workers {
+				stallCandidate = true
+				break
+			}
+		}
+	}
+}
+
+// round performs one GVT round. stallCandidate marks rounds triggered by
+// system-wide idleness; two consecutive such rounds without progress mean
+// deadlock.
+func (c *controller) round(stallCandidate bool) (done, stopped bool) {
+	c.metrics.GVTRounds.Add(1)
+	for w := 1; w <= c.workers; w++ {
+		c.ep.Send(w, &Msg{Kind: msgGVTPause})
+	}
+
+	acks := make([]*Msg, c.workers+1)
+	for n := 0; n < c.workers; {
+		m := c.ep.Recv()
+		switch m.Kind {
+		case msgFatal:
+			c.abort(m.Err)
+			return false, true
+		case msgGVTAck:
+			if acks[m.From] == nil {
+				acks[m.From] = m
+				n++
+			}
+		}
+		// msgIdle and other stale triggers are dropped.
+	}
+
+	var totalProcessed uint64
+	expect := make([]uint64, c.workers+1)
+	var consLPs, optLPs []LPID
+	for w := 1; w <= c.workers; w++ {
+		a := acks[w]
+		// Null messages count as progress: under user-consistent
+		// conservative ordering, channel-clock promises may need several
+		// propagation hops (and several rounds) before any event becomes
+		// processable. Only a round with no events AND no new promises is
+		// a genuine stall.
+		totalProcessed += a.Processed + a.Nulls
+		for dst, n := range a.Sent {
+			if dst >= 1 && dst <= c.workers {
+				expect[dst] += n
+			}
+		}
+		for _, mp := range a.Modes {
+			if c.modes[mp.LP] == mp.Mode {
+				continue
+			}
+			c.modes[mp.LP] = mp.Mode
+			if mp.Mode == Conservative {
+				consLPs = append(consLPs, mp.LP)
+			} else {
+				optLPs = append(optLPs, mp.LP)
+			}
+		}
+	}
+
+	for w := 1; w <= c.workers; w++ {
+		c.ep.Send(w, &Msg{Kind: msgGVTDrain, Expect: expect[w]})
+	}
+
+	gvt := vtime.Inf
+	barrier := 0.0
+	for n := 0; n < c.workers; {
+		m := c.ep.Recv()
+		switch m.Kind {
+		case msgFatal:
+			c.abort(m.Err)
+			return false, true
+		case msgGVTMin:
+			if m.Min.Less(gvt) {
+				gvt = m.Min
+			}
+			if m.Clock > barrier {
+				barrier = m.Clock
+			}
+			n++
+		}
+	}
+
+	if gvt.Less(c.gvt) {
+		// GVT must be monotone; regression means an accounting bug.
+		c.abort(&SimError{Text: "pdes: GVT regression: " + gvt.String() + " < " + c.gvt.String()})
+		return false, true
+	}
+	c.gvt = gvt
+	isDone := !gvt.Less(c.horizon)
+
+	if !isDone && stallCandidate && c.rounds > 0 && gvt == c.prevGVT && totalProcessed == c.prevProcessed {
+		c.abort(&SimError{Text: "pdes: deadlock: all workers idle, GVT stuck at " + gvt.String() +
+			" (user-consistent conservative ordering without lookahead blocks, per the paper)"})
+		return false, true
+	}
+	c.rounds++
+	c.prevGVT, c.prevProcessed = gvt, totalProcessed
+
+	for w := 1; w <= c.workers; w++ {
+		c.ep.Send(w, &Msg{
+			Kind:    msgGVTNew,
+			GVT:     gvt,
+			Clock:   barrier,
+			ConsLPs: consLPs,
+			OptLPs:  optLPs,
+			Done:    isDone,
+		})
+	}
+	if isDone {
+		c.finalClock = barrier + c.cfg.Costs.GVTCost
+	}
+	return isDone, false
+}
+
+func (c *controller) abort(err *SimError) {
+	c.err = err
+	for w := 1; w <= c.workers; w++ {
+		c.ep.Send(w, &Msg{Kind: msgStop, Err: err})
+	}
+}

@@ -1,0 +1,23 @@
+package pdes
+
+import "fmt"
+
+// Debug instrumentation. Both hooks are inert in production: dbgID is a
+// single predictable branch on the hot paths, and debugOrphanHook is nil
+// unless a test installs it. They exist because the hardest engine bugs
+// (lost anti-messages, GVT/fossil races) are only diagnosable by following
+// one event's full lifecycle across workers — see
+// TestRegressionDeferredAntiGVT for the bug that motivated them.
+
+// debugTraceID, when nonzero, logs every engine action touching that event
+// ID.
+var debugTraceID uint64
+
+// dbgID logs one engine action for the traced event.
+func dbgID(w *worker, where string, e *Event, extra string) {
+	if debugTraceID == 0 || e == nil || e.ID != debugTraceID {
+		return
+	}
+	fmt.Printf("TRACE[%x] worker=%d %s %v neg=%v gvt=%v paused=%v %s\n",
+		e.ID, w.ep.Self(), where, e.TS, e.Neg, w.gvt, w.paused, extra)
+}

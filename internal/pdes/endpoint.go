@@ -1,0 +1,116 @@
+package pdes
+
+import "sync"
+
+// Endpoint is one end of the message substrate connecting the GVT controller
+// (endpoint 0) and the workers (endpoints 1..N). Implementations must
+// deliver messages reliably and FIFO per (sender, receiver) pair. The
+// in-process implementation below uses unbounded queues; package transport
+// provides a TCP implementation with the same contract.
+type Endpoint interface {
+	// Self returns this endpoint's index.
+	Self() int
+	// N returns the total number of endpoints.
+	N() int
+	// Send delivers m to endpoint dst. It must not block indefinitely
+	// (unbounded buffering is acceptable).
+	Send(dst int, m *Msg)
+	// Recv blocks until a message is available.
+	Recv() *Msg
+	// TryRecv returns a message if one is immediately available.
+	TryRecv() (*Msg, bool)
+}
+
+// mailbox is an unbounded MPSC queue. Unboundedness matters: with bounded
+// channels two workers sending to each other through full buffers would
+// deadlock.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Msg
+	head   int
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m *Msg) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
+func (mb *mailbox) take() *Msg {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for mb.head >= len(mb.queue) {
+		mb.cond.Wait()
+	}
+	return mb.pop()
+}
+
+func (mb *mailbox) tryTake() (*Msg, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.head >= len(mb.queue) {
+		return nil, false
+	}
+	return mb.pop(), true
+}
+
+// pop removes the head; caller holds mu. The backing slice is compacted
+// once the head pointer passes half the queue to bound memory.
+func (mb *mailbox) pop() *Msg {
+	m := mb.queue[mb.head]
+	mb.queue[mb.head] = nil
+	mb.head++
+	if mb.head > 64 && mb.head*2 >= len(mb.queue) {
+		n := copy(mb.queue, mb.queue[mb.head:])
+		for i := n; i < len(mb.queue); i++ {
+			mb.queue[i] = nil
+		}
+		mb.queue = mb.queue[:n]
+		mb.head = 0
+	}
+	return m
+}
+
+// localFabric connects n endpoints with in-process mailboxes.
+type localFabric struct {
+	boxes []*mailbox
+}
+
+// NewLocalFabric returns n connected in-process endpoints. Endpoint 0 is
+// conventionally the GVT controller.
+func NewLocalFabric(n int) []Endpoint {
+	f := &localFabric{boxes: make([]*mailbox, n)}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = &localEndpoint{fabric: f, self: i}
+	}
+	return eps
+}
+
+type localEndpoint struct {
+	fabric *localFabric
+	self   int
+}
+
+func (e *localEndpoint) Self() int { return e.self }
+func (e *localEndpoint) N() int    { return len(e.fabric.boxes) }
+
+func (e *localEndpoint) Send(dst int, m *Msg) {
+	m.From = e.self
+	e.fabric.boxes[dst].put(m)
+}
+
+func (e *localEndpoint) Recv() *Msg            { return e.fabric.boxes[e.self].take() }
+func (e *localEndpoint) TryRecv() (*Msg, bool) { return e.fabric.boxes[e.self].tryTake() }

@@ -1,0 +1,101 @@
+package pdes
+
+import (
+	"fmt"
+
+	"govhdl/internal/vtime"
+)
+
+// Event is one timestamped message between LPs. Events are immutable after
+// Send; the Data payload must not be mutated by sender or receiver (the
+// optimistic protocol may re-deliver it after a rollback).
+type Event struct {
+	ID   uint64   // globally unique (worker index in the high bits)
+	Src  LPID     // sending LP
+	Dst  LPID     // destination LP
+	TS   vtime.VT // receive timestamp
+	Sent vtime.VT // sender's local virtual time at send (Sent <= TS)
+	Kind uint8    // application-defined event class
+	Neg  bool     // true for an anti-message
+	Data any      // immutable application payload
+
+	// Clk is the sender worker's modeled clock (plus wire latency) at send
+	// time; the receiver's clock advances to at least Clk before the event
+	// executes, modeling message latency in the virtual-processor model.
+	Clk float64
+}
+
+// SameButSign reports whether e and o are a positive/negative pair.
+func (e *Event) SameButSign(o *Event) bool {
+	return e.ID == o.ID && e.Neg != o.Neg
+}
+
+func (e *Event) String() string {
+	sign := "+"
+	if e.Neg {
+		sign = "-"
+	}
+	return fmt.Sprintf("ev%s#%d %d->%d @%v kind=%d", sign, e.ID, e.Src, e.Dst, e.TS, e.Kind)
+}
+
+// msgKind discriminates transport messages.
+type msgKind uint8
+
+const (
+	msgEvent    msgKind = iota // an application event (or anti-message)
+	msgNull                    // a null message carrying a channel-clock promise
+	msgGVTPause                // controller -> worker: stop and flush
+	msgGVTAck                  // worker -> controller: flushed, with send/recv counts
+	msgGVTDrain                // controller -> worker: drain inbox to Expect total
+	msgGVTMin                  // worker -> controller: local minimum after drain
+	msgGVTNew                  // controller -> worker: new GVT (and mode table)
+	msgIdle                    // worker -> controller: idle notice or GVT request
+	msgFatal                   // worker -> controller: unrecoverable error
+	msgStop                    // controller -> worker: abort now
+)
+
+// Msg is the unit carried by a Transport. Exactly one of the payload groups
+// is meaningful depending on Kind.
+type Msg struct {
+	Kind msgKind
+	From int // sending worker
+
+	// msgEvent
+	Ev *Event
+
+	// msgNull: promise that LP Src will send nothing to Dst before TS.
+	Src LPID
+	Dst LPID
+	TS  vtime.VT
+
+	// GVT control.
+	Round     uint64
+	Sent      []uint64   // msgGVTAck: events+nulls sent per worker
+	Recvd     uint64     // msgGVTAck: total events+nulls received
+	Expect    uint64     // msgGVTDrain: drain until Recvd == Expect
+	Min       vtime.VT   // msgGVTMin: local minimum unprocessed timestamp
+	Clock     float64    // msgGVTAck/msgGVTNew: modeled clock / barrier clock
+	GVT       vtime.VT   // msgGVTNew
+	ConsLPs   []LPID     // msgGVTNew: LPs that switched to conservative
+	OptLPs    []LPID     // msgGVTNew: LPs that switched to optimistic
+	Idle      bool       // msgIdle: worker has nothing processable
+	Request   bool       // msgIdle: worker asks for a GVT round (GVTEvery reached)
+	Processed uint64     // msgIdle/msgGVTAck: events processed so far
+	Nulls     uint64     // msgGVTAck: null messages sent so far
+	Done      bool       // msgGVTNew: termination flag
+	Err       *SimError  // msgFatal/msgGVTNew: fatal error, if any
+	Modes     []ModePair // msgGVTAck: mode switches requested by this worker
+}
+
+// ModePair records one LP's mode after adaptation.
+type ModePair struct {
+	LP   LPID
+	Mode Mode
+}
+
+// SimError is a fatal simulation error that must cross worker boundaries.
+type SimError struct {
+	Text string
+}
+
+func (e *SimError) Error() string { return e.Text }

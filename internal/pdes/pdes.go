@@ -1,0 +1,213 @@
+// Package pdes implements the parallel discrete-event simulation engine of
+// Lungeanu & Shi (ICCAD 1999 / DATE 2000): a graph of logical processes (LPs)
+// exchanging timestamped events over a static topology, synchronized by a
+// lookahead-free protocol in which each LP runs in conservative or optimistic
+// (Time Warp) mode and may self-adapt between the two.
+//
+// # Synchronization
+//
+// Correctness requires only the local causality constraint: each LP processes
+// its input events in nondecreasing timestamp order, with events of equal
+// timestamp processed in arbitrary order (OrderArbitrary) unless the
+// application requests user-consistent ordering (OrderUserConsistent).
+//
+// A conservative LP may process an event e when no event with a strictly
+// smaller timestamp can still arrive: either e.TS <= GVT (the global minimum
+// of unprocessed and in-transit event timestamps — always safe, which is what
+// makes the protocol lookahead-free and deadlock-free), or e.TS is covered by
+// the per-edge channel clocks of conservative upstream LPs (optionally raised
+// ahead of GVT by null messages when lookahead is enabled).
+//
+// An optimistic LP processes any pending event, saving state so it can roll
+// back when a straggler or anti-message arrives. In the arbitrary-order model
+// an event equal to the LP's local time is NOT a straggler; only strictly
+// smaller timestamps roll back. Consequently every anti-message has a
+// timestamp strictly greater than the GVT current at the rollback, which is
+// what lets conservative LPs safely process events at or below GVT even when
+// they come from optimistic neighbours — the paper's mixed-mode requirement.
+//
+// GVT is computed by a stop-the-world round (pause, flush, drain, minimum)
+// coordinated by worker 0, matching the paper's use of global synchronization
+// for fossil collection, deadlock breaking and mode adaptation.
+package pdes
+
+import (
+	"fmt"
+
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+// LPID identifies a logical process within a System.
+type LPID int32
+
+// NoLP is the zero value for "no LP" (internal events use the LP itself).
+const NoLP LPID = -1
+
+// Mode is the synchronization mode of one LP.
+type Mode uint8
+
+const (
+	// Conservative LPs block until an event is safe and never roll back.
+	Conservative Mode = iota
+	// Optimistic LPs process events speculatively and roll back on
+	// stragglers (Time Warp).
+	Optimistic
+)
+
+func (m Mode) String() string {
+	if m == Conservative {
+		return "conservative"
+	}
+	return "optimistic"
+}
+
+// Protocol selects the initial mode assignment of a run.
+type Protocol uint8
+
+const (
+	// ProtoSequential runs the whole system under a single event heap with
+	// no synchronization machinery: the speedup baseline and oracle.
+	ProtoSequential Protocol = iota
+	// ProtoConservative starts every LP conservative.
+	ProtoConservative
+	// ProtoOptimistic starts every LP optimistic.
+	ProtoOptimistic
+	// ProtoMixed uses each LP's Hint (the paper's heuristic: synchronous
+	// components conservative, asynchronous ones optimistic).
+	ProtoMixed
+	// ProtoDynamic starts from the same hints but lets LPs self-adapt at
+	// GVT rounds based on observed rollback and blocking behaviour.
+	ProtoDynamic
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoSequential:
+		return "seq"
+	case ProtoConservative:
+		return "cons"
+	case ProtoOptimistic:
+		return "opt"
+	case ProtoMixed:
+		return "mixed"
+	case ProtoDynamic:
+		return "dynamic"
+	}
+	return "?"
+}
+
+// Ordering selects how simultaneous (equal-timestamp) events are handled.
+type Ordering uint8
+
+const (
+	// OrderArbitrary processes equal-timestamp events in arbitrary order;
+	// the application must be correct under any interleaving (the VHDL
+	// kernel achieves this with the (pt, lt) virtual time).
+	OrderArbitrary Ordering = iota
+	// OrderUserConsistent collects all equal-timestamp events destined to
+	// one LP and hands them to the application comparator before
+	// processing. Conservative LPs then need strictly-greater channel
+	// guarantees (i.e. positive lookahead) and optimistic LPs roll back on
+	// equal timestamps, reproducing the overheads of the paper's Fig. 4.
+	OrderUserConsistent
+)
+
+func (o Ordering) String() string {
+	if o == OrderArbitrary {
+		return "arbitrary"
+	}
+	return "user-consistent"
+}
+
+// Partition selects how LPs are assigned to workers.
+type Partition uint8
+
+const (
+	// PartitionRoundRobin deals LPs to workers by index modulo P — the
+	// "naive partitioning (equal number of LPs to each processor)" used in
+	// the paper, which causes the occasional dips in its speedup curves.
+	PartitionRoundRobin Partition = iota
+	// PartitionBlock assigns contiguous index ranges, which for generated
+	// circuits keeps neighbourhoods together (ablation).
+	PartitionBlock
+)
+
+// Config parameterizes a parallel run.
+type Config struct {
+	Workers   int       // number of virtual processors (>= 1)
+	Protocol  Protocol  // initial mode assignment
+	Ordering  Ordering  // simultaneous-event model
+	Partition Partition // LP-to-worker assignment
+
+	// Lookahead enables null messages: a conservative LP that has processed
+	// up to t promises t+Lookahead(lp) on its output edges. With Lookahead
+	// false the protocol is lookahead-free and progress beyond channel
+	// clocks relies on GVT. Per-LP lookahead values come from the System.
+	Lookahead bool
+
+	// CheckpointEvery is the state-saving interval of optimistic LPs:
+	// 1 saves before every event (default), k>1 saves every k-th event and
+	// coast-forwards through the gap on rollback.
+	CheckpointEvery int
+
+	// GVTEvery triggers a GVT round after this many events have been
+	// processed system-wide since the last round (default 4096). Rounds
+	// are also triggered whenever all workers go idle.
+	GVTEvery int
+
+	// ThrottleWindow, when positive, prevents optimistic LPs from running
+	// more than this much physical time ahead of GVT (memory bound).
+	ThrottleWindow vtime.Time
+
+	// Costs is the virtual-processor cost model; zero value means
+	// stats.Default().
+	Costs stats.CostModel
+
+	// AdaptRollbackHi: an optimistic LP whose rolled-back/processed ratio
+	// over the last adaptation window exceeds this switches to
+	// conservative (dynamic protocol only). Default 0.5.
+	AdaptRollbackHi float64
+	// AdaptBlockedHi: a conservative LP that was blocked (had pending but
+	// no safe events) at more than this fraction of scheduling
+	// opportunities switches to optimistic. Default 0.7.
+	AdaptBlockedHi float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.GVTEvery <= 0 {
+		c.GVTEvery = 4096
+	}
+	if c.Costs == (stats.CostModel{}) {
+		c.Costs = stats.Default()
+	}
+	if c.AdaptRollbackHi == 0 {
+		c.AdaptRollbackHi = 0.5
+	}
+	if c.AdaptBlockedHi == 0 {
+		c.AdaptBlockedHi = 0.7
+	}
+}
+
+// Validate reports configurations that cannot run correctly.
+func (c *Config) Validate() error {
+	if c.Ordering == OrderUserConsistent {
+		switch c.Protocol {
+		case ProtoConservative:
+			if !c.Lookahead {
+				return fmt.Errorf("pdes: user-consistent conservative ordering blocks without lookahead (paper §4); enable Config.Lookahead")
+			}
+		case ProtoOptimistic:
+			// fine: extra rollbacks on equal timestamps
+		default:
+			return fmt.Errorf("pdes: user-consistent ordering supports only pure conservative or pure optimistic protocols (as in the paper's Fig. 4), not %v", c.Protocol)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package pdes
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyProtocolsAgree: for randomly sized relay rings and arbitrary
+// protocol/worker/checkpoint/lookahead combinations, the committed parallel
+// trace equals the sequential oracle's. This is the paper's correctness
+// claim as a property test.
+func TestPropertyProtocolsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	type params struct {
+		N        uint8
+		Seeds    uint8
+		X0       uint8
+		Workers  uint8
+		Proto    uint8
+		Ckpt     uint8
+		La       bool
+		GVTEvery uint16
+	}
+	run := func(p params) bool {
+		n := int(p.N%10) + 3
+		seeds := int(p.Seeds%3) + 1
+		x0 := int(p.X0%20) + 8
+		workers := int(p.Workers%5) + 1
+		protos := []Protocol{ProtoConservative, ProtoOptimistic, ProtoMixed, ProtoDynamic}
+		proto := protos[int(p.Proto)%len(protos)]
+		ckpt := int(p.Ckpt%4) + 1
+		gvtEvery := int(p.GVTEvery%512) + 32
+
+		wantSys, _ := buildRelayRing(n, seeds, x0)
+		want := &collector{}
+		if _, err := RunSequential(wantSys, relayHorizon, want); err != nil {
+			t.Logf("sequential: %v", err)
+			return false
+		}
+		sys, _ := buildRelayRing(n, seeds, x0)
+		sink := &collector{}
+		_, err := Run(sys, Config{
+			Workers:         workers,
+			Protocol:        proto,
+			Lookahead:       p.La,
+			CheckpointEvery: ckpt,
+			GVTEvery:        gvtEvery,
+		}, relayHorizon, sink)
+		if err != nil {
+			t.Logf("%+v: %v", p, err)
+			return false
+		}
+		g, w := sink.sorted(), want.sorted()
+		if strings.Join(g, "\n") != strings.Join(w, "\n") {
+			t.Logf("%+v: trace mismatch (%d vs %d records)", p, len(g), len(w))
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(run, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildRelayRingT(t *testing.T, n, seeds, x0 int) *System {
+	t.Helper()
+	sys, _ := buildRelayRing(n, seeds, x0)
+	return sys
+}
+
+// TestPartitionsAgree: both partitioning strategies commit the same trace.
+func TestPartitionsAgree(t *testing.T) {
+	want, _ := runOracle(t, 12, 3, 30)
+	for _, part := range []Partition{PartitionRoundRobin, PartitionBlock} {
+		sys := buildRelayRingT(t, 12, 3, 30)
+		sink := &collector{}
+		if _, err := Run(sys, Config{
+			Workers: 4, Protocol: ProtoDynamic, Partition: part, GVTEvery: 128,
+		}, relayHorizon, sink); err != nil {
+			t.Fatalf("partition %d: %v", part, err)
+		}
+		got := sink.sorted()
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("partition %d: trace mismatch", part)
+		}
+	}
+}
+
+// TestManyWorkersFewLPs: more workers than LPs must still be correct (some
+// workers own nothing).
+func TestManyWorkersFewLPs(t *testing.T) {
+	want, _ := runOracle(t, 3, 1, 12)
+	sys := buildRelayRingT(t, 3, 1, 12)
+	sink := &collector{}
+	if _, err := Run(sys, Config{Workers: 8, Protocol: ProtoOptimistic, GVTEvery: 64},
+		relayHorizon, sink); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.sorted()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("trace mismatch with idle workers: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestEmptySystem: a system whose models schedule nothing terminates
+// immediately at every protocol.
+func TestEmptySystem(t *testing.T) {
+	for _, proto := range []Protocol{ProtoConservative, ProtoOptimistic, ProtoDynamic} {
+		sys := NewSystem()
+		m := &relay{} // no seeds: Init schedules nothing
+		sys.AddLP("idle", m)
+		res, err := Run(sys, Config{Workers: 2, Protocol: proto, GVTEvery: 64}, relayHorizon, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if res.Metrics.Events != 0 {
+			t.Errorf("%v: events on an empty system", proto)
+		}
+	}
+}
+
+// TestZeroHorizon: nothing before time zero exists, so nothing runs.
+func TestZeroHorizon(t *testing.T) {
+	sys := buildRelayRingT(t, 6, 2, 10)
+	res, err := Run(sys, Config{Workers: 2, Protocol: ProtoOptimistic, GVTEvery: 64}, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Events != 0 {
+		t.Errorf("events processed past a zero horizon: %d", res.Metrics.Events)
+	}
+}
+
+// TestRepeatedRunsFreshSystems: protocol runs do not leak state between
+// separately built systems (a regression guard for global state).
+func TestRepeatedRunsFreshSystems(t *testing.T) {
+	var first string
+	for i := 0; i < 3; i++ {
+		sys := buildRelayRingT(t, 8, 2, 20)
+		sink := &collector{}
+		if _, err := Run(sys, Config{Workers: 3, Protocol: ProtoDynamic, GVTEvery: 128},
+			relayHorizon, sink); err != nil {
+			t.Fatal(err)
+		}
+		s := fmt.Sprint(sink.sorted())
+		if i == 0 {
+			first = s
+		} else if s != first {
+			t.Fatalf("run %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package pdes
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"govhdl/internal/vtime"
+)
+
+// closureRelay computes the expected record multiset of the relay ring by
+// direct breadth-first expansion, with no simulation engine involved — an
+// oracle for the oracle.
+func closureRelay(n, seeds, x0 int) []string {
+	type evt struct {
+		dst int
+		ts  vtime.VT
+		x   int
+	}
+	var queue []evt
+	for i := 0; i < seeds; i++ {
+		// Each seeding relay holds a single-element seed list, so Init
+		// schedules every seed at (1ns, LT 3).
+		queue = append(queue, evt{i, vtime.VT{PT: vtime.NS, LT: 3}, x0 + i})
+	}
+	var recs []string
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if !e.ts.Less(vtime.VT{PT: relayHorizon}) {
+			continue
+		}
+		recs = append(recs, fmt.Sprintf("%03d|%v|%v", e.dst, e.ts, e.x))
+		if e.x <= 0 {
+			continue
+		}
+		outs := []int{(e.dst + 1) % n}
+		if e.x%5 == 0 {
+			outs = append(outs, (e.dst+2)%n)
+		}
+		for i, dst := range outs {
+			var ts vtime.VT
+			switch (e.x + i) % 4 {
+			case 0:
+				ts = e.ts
+			case 1:
+				ts = e.ts.NextPhase()
+			case 2:
+				ts = vtime.VT{PT: e.ts.PT + vtime.Time(e.x%5+1)*vtime.NS}
+			default:
+				ts = vtime.VT{PT: e.ts.PT + vtime.NS, LT: 2}
+			}
+			queue = append(queue, evt{dst, ts, e.x - 1})
+		}
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+func TestSequentialMatchesClosure(t *testing.T) {
+	closure := closureRelay(12, 3, 40)
+	got, _ := runOracle(t, 12, 3, 40)
+	if len(got) != len(closure) {
+		t.Fatalf("oracle %d records, closure %d", len(got), len(closure))
+	}
+	for i := range got {
+		if got[i] != closure[i] {
+			t.Fatalf("record %d: oracle %q closure %q", i, got[i], closure[i])
+		}
+	}
+}
+
+// TestRegressionDeferredAntiGVT reproduces a bug where an anti-message
+// deferred during a GVT pause was invisible to the GVT computation; GVT then
+// advanced to exactly the anti's timestamp (same-timestamp anti chains do
+// not strictly increase), the receiver fossil-collected the positive at
+// ts == GVT, and the anti became a permanent orphan, leaving a duplicated
+// event subtree. The fix makes deferred antis constrain GVT strictly below
+// their timestamp. The {12 LPs, 3 seeds, x0=20, 4 workers} configuration
+// reproduced the orphan deterministically before the fix.
+func TestRegressionDeferredAntiGVT(t *testing.T) {
+	closure := closureRelay(12, 3, 20)
+	for rep := 0; rep < 10; rep++ {
+		sys, _ := buildRelayRing(12, 3, 20)
+		sink := &collector{}
+		res, err := Run(sys, Config{Workers: 4, Protocol: ProtoOptimistic, GVTEvery: 256}, relayHorizon, sink)
+		if err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+		if res.Metrics.OrphanAntis != 0 {
+			t.Fatalf("rep %d: %d orphan anti-messages", rep, res.Metrics.OrphanAntis)
+		}
+		if got := sink.sorted(); len(got) != len(closure) {
+			t.Fatalf("rep %d: committed %d records, want %d", rep, len(got), len(closure))
+		}
+		if res.Metrics.Antis != res.Metrics.Annihilated {
+			t.Fatalf("rep %d: antis=%d annihilated=%d", rep, res.Metrics.Antis, res.Metrics.Annihilated)
+		}
+	}
+}
+
+func TestVTPred(t *testing.T) {
+	cases := []struct{ in, want vtime.VT }{
+		{vtime.VT{PT: 5, LT: 3}, vtime.VT{PT: 5, LT: 2}},
+		{vtime.VT{PT: 5, LT: 0}, vtime.VT{PT: 4, LT: ^uint64(0)}},
+		{vtime.Zero, vtime.Zero},
+	}
+	for _, c := range cases {
+		if got := c.in.Pred(); got != c.want {
+			t.Errorf("Pred(%v) = %v, want %v", c.in, got, c.want)
+		}
+		if c.in != vtime.Zero && !c.in.Pred().Less(c.in) {
+			t.Errorf("Pred(%v) not strictly less", c.in)
+		}
+	}
+}
+
+// TestDebugHooks exercises the inert-by-default debug instrumentation.
+func TestDebugHooks(t *testing.T) {
+	debugTraceID = 1<<48 | 1
+	orphanSeen := false
+	debugOrphanHook = func(w *worker, lp *lpRT, anti *Event) { orphanSeen = true }
+	defer func() {
+		debugTraceID = 0
+		debugOrphanHook = nil
+	}()
+	sys, _ := buildRelayRing(6, 1, 10)
+	if _, err := Run(sys, Config{Workers: 2, Protocol: ProtoOptimistic, GVTEvery: 64},
+		relayHorizon, nil); err != nil {
+		t.Fatal(err)
+	}
+	if orphanSeen {
+		t.Error("orphan hook fired on a healthy run")
+	}
+}

@@ -1,0 +1,126 @@
+package pdes
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+// Run simulates the system in parallel under cfg until the horizon `until`
+// (exclusive: events at physical time >= until are not processed). The
+// workers and the GVT controller run as goroutines connected by an
+// in-process fabric; package transport provides the distributed variant over
+// TCP sockets with the same protocol.
+func Run(sys *System, cfg Config, until vtime.Time, sink TraceSink) (*Result, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return runParallel(sys, cfg, until, sink)
+}
+
+// runParallel is Run without configuration validation; tests use it to
+// exercise the deadlock detector on configurations Validate rejects.
+func runParallel(sys *System, cfg Config, until vtime.Time, sink TraceSink) (*Result, error) {
+	cfg.fillDefaults()
+	if cfg.Protocol == ProtoSequential {
+		return RunSequential(sys, until, sink)
+	}
+	return RunOn(sys, cfg, until, sink, NewLocalFabric(cfg.Workers+1))
+}
+
+// RunOn runs the workers and/or controller for the endpoints this process
+// hosts. With the in-process fabric (all endpoints) it is a complete
+// parallel run; in distributed mode every participating process calls RunOn
+// with an identically-constructed System and Config and its own subset of
+// endpoints (endpoint 0 is the GVT controller; endpoints 1..N-1 are the
+// workers). Cross-process endpoints come from package transport.
+//
+// The returned Result covers what this process observed: the final GVT,
+// the locally accumulated metrics, and the clocks of the locally hosted
+// workers.
+func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endpoint) (*Result, error) {
+	cfg.fillDefaults()
+	if len(eps) == 0 {
+		return nil, fmt.Errorf("pdes: RunOn needs at least one endpoint")
+	}
+	total := eps[0].N()
+	if cfg.Workers != total-1 {
+		return nil, fmt.Errorf("pdes: Config.Workers (%d) must match the fabric's worker count (%d)", cfg.Workers, total-1)
+	}
+	sys.frozen = true
+
+	horizon := vtime.VT{PT: until}
+	metrics := &stats.Metrics{}
+
+	owned := sys.partition(cfg.Partition, cfg.Workers)
+	owner := make([]int, sys.NumLPs())
+	for wi, ids := range owned {
+		for _, id := range ids {
+			owner[id] = wi + 1
+		}
+	}
+	modes := make([]Mode, sys.NumLPs())
+	for i := range modes {
+		modes[i] = sys.initialMode(LPID(i), cfg.Protocol)
+	}
+
+	var workers []*worker
+	var ctrl *controller
+	for _, ep := range eps {
+		if ep.Self() == 0 {
+			ctrlModes := make([]Mode, len(modes))
+			copy(ctrlModes, modes)
+			ctrl = newController(ep, &cfg, horizon, ctrlModes, metrics)
+			continue
+		}
+		wi := ep.Self() - 1
+		workers = append(workers, newWorker(ep, sys, &cfg, horizon, owner, owned[wi], modes, metrics, sink))
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run()
+		}(w)
+	}
+	if ctrl != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctrl.run()
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	if ctrl != nil && ctrl.err != nil {
+		return nil, ctrl.err
+	}
+	res := &Result{
+		Metrics: metrics.Snapshot(),
+		Wall:    wall,
+	}
+	if ctrl != nil {
+		res.GVT = ctrl.gvt
+	}
+	for _, w := range workers {
+		if res.GVT == (vtime.VT{}) {
+			res.GVT = w.gvt
+		}
+		res.WorkerClocks = append(res.WorkerClocks, w.finalClock)
+		if w.finalClock > res.Makespan {
+			res.Makespan = w.finalClock
+		}
+		if w.stopped {
+			return res, fmt.Errorf("pdes: simulation aborted")
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+package pdes
+
+import (
+	"fmt"
+	"time"
+
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+// Result reports the outcome of a run.
+type Result struct {
+	// GVT is the final global virtual time (at least the horizon on a
+	// completed run).
+	GVT vtime.VT
+	// Metrics are the protocol counters accumulated during the run.
+	Metrics stats.Snapshot
+	// Makespan is the modeled parallel cost: the maximum worker clock at
+	// termination under the virtual-processor cost model. For a
+	// sequential run it equals the modeled sequential cost.
+	Makespan float64
+	// WorkerClocks are the per-worker modeled clocks at termination.
+	WorkerClocks []float64
+	// Wall is the host wall-clock duration of the run.
+	Wall time.Duration
+}
+
+// RunSequential simulates the system on a single event heap with no
+// synchronization machinery: the paper's "1 processor execution (improved
+// for sequential simulation)" baseline and the correctness oracle. Events
+// are processed in deterministic (timestamp, event ID) order until every
+// pending event is at or beyond the horizon `until` (exclusive).
+func RunSequential(sys *System, until vtime.Time, sink TraceSink) (*Result, error) {
+	sys.frozen = true
+	start := time.Now()
+	costs := stats.Default()
+	horizon := vtime.VT{PT: until}
+
+	var (
+		heap    eventHeap
+		nextID  uint64
+		metrics stats.Metrics
+		now     vtime.VT
+		cur     LPID
+	)
+
+	emit := func(dst LPID, ts vtime.VT, kind uint8, data any) {
+		nextID++
+		heap.Push(&Event{ID: nextID, Src: cur, Dst: dst, TS: ts, Kind: kind, Data: data})
+	}
+	ctx := &Ctx{sys: sys, emit: emit}
+	if sink != nil {
+		ctx.record = func(item any) { sink.Commit(cur, now, item) }
+	}
+
+	// Initialization: every LP that wants to schedules its first events at
+	// virtual time zero.
+	for _, d := range sys.lps {
+		if im, ok := d.model.(InitModel); ok {
+			cur, now = d.id, vtime.Zero
+			ctx.self, ctx.now = cur, now
+			im.Init(ctx)
+		}
+	}
+
+	var processed uint64
+	for {
+		ev := heap.Peek()
+		if ev == nil || !ev.TS.Less(horizon) {
+			break
+		}
+		heap.Pop()
+		cur, now = ev.Dst, ev.TS
+		ctx.self, ctx.now = cur, now
+		sys.lps[ev.Dst].model.Execute(ctx, ev)
+		processed++
+	}
+	metrics.Events.Store(processed)
+
+	gvt := heap.MinTS()
+	if horizon.Less(gvt) {
+		gvt = horizon
+	}
+	cost := float64(processed) * costs.EventCost
+	return &Result{
+		GVT:          gvt,
+		Metrics:      metrics.Snapshot(),
+		Makespan:     cost,
+		WorkerClocks: []float64{cost},
+		Wall:         time.Since(start),
+	}, nil
+}
+
+// sanity check used by tests: a model must not send into its own past even
+// sequentially; Ctx.Send panics, which we convert to an error here for the
+// few places that want a recoverable check.
+func runSequentialRecover(sys *System, until vtime.Time, sink TraceSink) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pdes: %v", r)
+		}
+	}()
+	return RunSequential(sys, until, sink)
+}

@@ -1,0 +1,866 @@
+package pdes
+
+import (
+	"fmt"
+	"sort"
+
+	"govhdl/internal/stats"
+	"govhdl/internal/vtime"
+)
+
+// lpToken is a wake token in the worker's scheduling heap. At most one token
+// per LP exists (lpRT.queued); tokens order LPs by the pending minimum at
+// queue time, approximating lowest-timestamp-first scheduling.
+type lpToken struct {
+	ts  vtime.VT
+	seq uint64
+	lp  *lpRT
+}
+
+type tokenHeap []lpToken
+
+func (h tokenHeap) less(i, j int) bool {
+	if h[i].ts != h[j].ts {
+		return h[i].ts.Less(h[j].ts)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *tokenHeap) push(t lpToken) {
+	*h = append(*h, t)
+	a := *h
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *tokenHeap) pop() lpToken {
+	a := *h
+	top := a[0]
+	last := len(a) - 1
+	a[0] = a[last]
+	a[last] = lpToken{}
+	*h = a[:last]
+	a = *h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < len(a) && a.less(l, s) {
+			s = l
+		}
+		if r < len(a) && a.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		a[i], a[s] = a[s], a[i]
+		i = s
+	}
+	return top
+}
+
+// fatalPanic carries an unrecoverable protocol error up to worker.run.
+type fatalPanic struct{ err *SimError }
+
+// worker owns a partition of the LPs and runs their events under the
+// configured synchronization protocol. Endpoint 0 is the GVT controller.
+type worker struct {
+	ep      Endpoint
+	sys     *System
+	cfg     *Config
+	horizon vtime.VT
+	owner   []int   // LPID -> owning endpoint index
+	lps     []*lpRT // LPID -> runtime; nil when not owned here
+	owned   []*lpRT
+	// watchers[src] lists owned LPs with an in-edge from src, for mode
+	// broadcasts.
+	watchers map[LPID][]*lpRT
+
+	sched    tokenHeap
+	schedSeq uint64
+	gvt      vtime.VT
+	metrics  *stats.Metrics
+	sink     TraceSink
+	user     bool
+	cmp      Comparator
+
+	clock       float64
+	sentTo      []uint64 // cumulative events+nulls sent, per endpoint
+	recvd       uint64   // cumulative events+nulls received
+	nullsSent   uint64   // cumulative null messages (deadlock-detector progress)
+	execTotal   uint64
+	execAtRound uint64
+	requested   bool
+
+	paused   bool
+	deferred []deferredMsg // remote sends generated while paused
+	// localQ holds local deliveries until the top of the scheduling loop:
+	// routing synchronously from inside Execute (or inside another
+	// rollback) could roll back the very LP that is executing, or re-enter
+	// a rollback in progress.
+	localQ []*Event
+
+	seq      uint64
+	ctx      *Ctx
+	curRec   *procRec
+	suppress bool
+
+	finalClock float64
+	stopped    bool
+}
+
+type deferredMsg struct {
+	dst int
+	m   *Msg
+}
+
+func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
+	owner []int, ownedIDs []LPID, modes []Mode,
+	metrics *stats.Metrics, sink TraceSink) *worker {
+
+	w := &worker{
+		ep:       ep,
+		sys:      sys,
+		cfg:      cfg,
+		horizon:  horizon,
+		owner:    owner,
+		lps:      make([]*lpRT, sys.NumLPs()),
+		watchers: make(map[LPID][]*lpRT),
+		metrics:  metrics,
+		sink:     sink,
+		user:     cfg.Ordering == OrderUserConsistent,
+		cmp:      sys.cmp,
+		sentTo:   make([]uint64, ep.N()),
+	}
+	if w.cmp == nil {
+		w.cmp = func(a, b *Event) bool {
+			if a.Kind != b.Kind {
+				return a.Kind < b.Kind
+			}
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			return a.ID < b.ID
+		}
+	}
+	for _, id := range ownedIDs {
+		lp := newLPRT(sys.lps[id], modes[id])
+		for i := range lp.edges {
+			lp.edges[i].srcCons = modes[lp.edges[i].src] == Conservative
+			w.watchers[lp.edges[i].src] = append(w.watchers[lp.edges[i].src], lp)
+		}
+		w.lps[id] = lp
+		w.owned = append(w.owned, lp)
+	}
+	w.ctx = &Ctx{sys: sys, emit: w.emit, record: w.recordItem}
+	return w
+}
+
+func (w *worker) fatal(format string, args ...any) {
+	panic(fatalPanic{&SimError{Text: fmt.Sprintf(format, args...)}})
+}
+
+func (w *worker) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			fp, ok := r.(fatalPanic)
+			if !ok {
+				panic(r)
+			}
+			w.ep.Send(0, &Msg{Kind: msgFatal, Err: fp.err})
+			w.awaitStop()
+		}
+	}()
+
+	w.initLPs()
+	w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true})
+	const batch = 8
+	for {
+		for {
+			m, ok := w.ep.TryRecv()
+			if !ok {
+				break
+			}
+			if w.handle(m) {
+				return
+			}
+		}
+		progressed := false
+		for i := 0; i < batch; i++ {
+			if !w.step() {
+				break
+			}
+			progressed = true
+		}
+		if !progressed {
+			w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true, Processed: w.execTotal})
+			if w.handle(w.ep.Recv()) {
+				return
+			}
+		} else if !w.requested && w.execTotal-w.execAtRound >= uint64(w.cfg.GVTEvery) {
+			w.requested = true
+			w.ep.Send(0, &Msg{Kind: msgIdle, Request: true, Processed: w.execTotal})
+		}
+	}
+}
+
+// awaitStop ignores everything until the controller confirms the abort.
+func (w *worker) awaitStop() {
+	for {
+		if m := w.ep.Recv(); m.Kind == msgStop {
+			return
+		}
+	}
+}
+
+func (w *worker) initLPs() {
+	for _, lp := range w.owned {
+		if im, ok := lp.model.(InitModel); ok {
+			w.ctx.self, w.ctx.now = lp.decl.id, vtime.Zero
+			im.Init(w.ctx)
+			w.drainLocal()
+		}
+	}
+}
+
+// handle processes one control or data message in the normal loop. It
+// returns true when the worker should terminate.
+func (w *worker) handle(m *Msg) bool {
+	switch m.Kind {
+	case msgEvent:
+		w.recvd++
+		w.localQ = append(w.localQ, m.Ev)
+		w.drainLocal()
+	case msgNull:
+		w.recvd++
+		w.routeNull(m.Src, m.Dst, m.TS)
+		w.drainLocal()
+	case msgGVTPause:
+		return w.gvtParticipate()
+	case msgStop:
+		w.stopped = true
+		return true
+	}
+	return false
+}
+
+// step executes one scheduling decision. It returns true if an event (or
+// user-consistent batch) was executed.
+func (w *worker) step() bool {
+	for len(w.sched) > 0 {
+		tok := w.sched.pop()
+		lp := tok.lp
+		lp.queued = false
+		if lp.pending.Len() == 0 {
+			continue
+		}
+		ts := lp.pending.MinTS()
+		if !ts.Less(w.horizon) {
+			continue // beyond the horizon; never processed
+		}
+		lp.wakes++
+		if lp.mode == Conservative {
+			if !lp.safeToProcess(w.gvt, w.user) {
+				lp.blockedHits++
+				w.metrics.Blocked.Add(1)
+				continue // requeued when a guarantee or GVT changes
+			}
+		} else if w.cfg.ThrottleWindow > 0 && ts.PT > w.gvt.PT+w.cfg.ThrottleWindow {
+			continue // throttled; requeued at the next GVT advance
+		}
+		if w.user {
+			w.executeBatch(lp)
+		} else {
+			w.execute(lp, lp.pending.Pop())
+		}
+		w.drainLocal()
+		w.requeue(lp)
+		if w.cfg.Lookahead && lp.mode == Conservative {
+			w.sendNulls(lp)
+		}
+		return true
+	}
+	return false
+}
+
+// execute runs one event at lp, snapshotting state first when optimistic.
+func (w *worker) execute(lp *lpRT, ev *Event) {
+	if ev.TS.Less(lp.now) {
+		// Engine invariant: routing must have rolled back (optimistic) or
+		// failed (conservative) before a straggler could reach execution.
+		w.fatal("engine bug: LP %s executing %v before local time %v",
+			w.sys.Name(lp.decl.id), ev.TS, lp.now)
+	}
+	if w.clock < ev.Clk {
+		w.clock = ev.Clk
+	}
+	w.clock += w.cfg.Costs.EventCost
+	w.ctx.self, w.ctx.now = lp.decl.id, ev.TS
+	dbgID(w, "execute", ev, fmt.Sprintf("lp=%s mode=%v", w.sys.Name(lp.decl.id), lp.mode))
+	if lp.mode == Optimistic {
+		rec := procRec{ev: ev}
+		if lp.sinceCkpt == 0 {
+			rec.state = lp.model.SaveState()
+			w.metrics.StateSaves.Add(1)
+			w.clock += w.cfg.Costs.StateSaveCost
+		}
+		lp.sinceCkpt++
+		if lp.sinceCkpt >= w.cfg.CheckpointEvery {
+			lp.sinceCkpt = 0
+		}
+		prev := w.curRec
+		w.curRec = &rec
+		lp.model.Execute(w.ctx, ev)
+		lp.processed = append(lp.processed, *w.curRec)
+		w.curRec = prev
+	} else {
+		prev := w.curRec
+		w.curRec = nil
+		lp.model.Execute(w.ctx, ev)
+		w.curRec = prev
+	}
+	lp.now = ev.TS
+	lp.execs++
+	w.execTotal++
+	w.metrics.Events.Add(1)
+}
+
+// executeBatch pops every pending event with the minimal timestamp, orders
+// the set with the application comparator and executes it (user-consistent
+// ordering).
+func (w *worker) executeBatch(lp *lpRT) {
+	first := lp.pending.Pop()
+	batch := []*Event{first}
+	for lp.pending.Len() > 0 && lp.pending.MinTS() == first.TS {
+		batch = append(batch, lp.pending.Pop())
+	}
+	if len(batch) > 1 {
+		sort.SliceStable(batch, func(i, j int) bool { return w.cmp(batch[i], batch[j]) })
+	}
+	w.clock += w.cfg.Costs.UserOrderCost * float64(len(batch))
+	for _, ev := range batch {
+		w.execute(lp, ev)
+	}
+}
+
+// emit is Ctx's send hook: allocate an ID, remember the send for potential
+// cancellation, and deliver.
+func (w *worker) emit(dst LPID, ts vtime.VT, kind uint8, data any) {
+	if w.suppress {
+		return // coast-forward re-execution: sends already made
+	}
+	w.seq++
+	e := &Event{
+		ID:   uint64(w.ep.Self())<<48 | w.seq,
+		Src:  w.ctx.self,
+		Dst:  dst,
+		TS:   ts,
+		Sent: w.ctx.now,
+		Kind: kind,
+		Data: data,
+	}
+	if w.curRec != nil {
+		w.curRec.sends = append(w.curRec.sends, e)
+	}
+	dbgID(w, "emit", e, fmt.Sprintf("src=%d dst=%d", e.Src, e.Dst))
+	w.deliver(e)
+}
+
+// deliver routes an event (or anti-message) to its destination worker.
+// Local deliveries are queued and drained at the top of the loop.
+func (w *worker) deliver(e *Event) {
+	o := w.owner[e.Dst]
+	if o == w.ep.Self() {
+		w.metrics.LocalMsgs.Add(1)
+		w.clock += w.cfg.Costs.LocalMsgCost
+		w.localQ = append(w.localQ, e)
+		return
+	}
+	w.metrics.RemoteMsgs.Add(1)
+	w.clock += w.cfg.Costs.RemoteMsgCost
+	e.Clk = w.clock + w.cfg.Costs.RemoteLatency
+	w.sendMsg(o, &Msg{Kind: msgEvent, Ev: e})
+}
+
+// sendMsg sends a counted (event/null) message to another worker, deferring
+// it while a GVT round is in progress so the round's message accounting
+// stays exact.
+func (w *worker) sendMsg(dst int, m *Msg) {
+	dbgID(w, "sendMsg", m.Ev, fmt.Sprintf("dst=%d", dst))
+	if w.paused {
+		w.deferred = append(w.deferred, deferredMsg{dst, m})
+		return
+	}
+	w.sentTo[dst]++
+	w.ep.Send(dst, m)
+}
+
+func (w *worker) sendAnti(e *Event) {
+	dbgID(w, "sendAnti", e, "")
+	w.metrics.Antis.Add(1)
+	w.clock += w.cfg.Costs.AntiCost
+	w.deliver(&Event{ID: e.ID, Src: e.Src, Dst: e.Dst, TS: e.TS, Kind: e.Kind, Neg: true})
+}
+
+// recordItem is Ctx's trace hook.
+func (w *worker) recordItem(item any) {
+	if w.suppress {
+		return
+	}
+	if w.curRec != nil {
+		w.curRec.recs = append(w.curRec.recs, item)
+		return
+	}
+	if w.sink != nil {
+		w.sink.Commit(w.ctx.self, w.ctx.now, item)
+	}
+}
+
+// drainLocal routes queued local deliveries. Routing may queue more (e.g.
+// anti-messages from a rollback); the index loop picks them up, so routeEvent
+// is never re-entered.
+func (w *worker) drainLocal() {
+	for i := 0; i < len(w.localQ); i++ {
+		e := w.localQ[i]
+		w.localQ[i] = nil
+		w.routeEvent(e)
+	}
+	w.localQ = w.localQ[:0]
+}
+
+// requeue puts lp back into the scheduling heap if it has pending work.
+func (w *worker) requeue(lp *lpRT) {
+	if lp.queued || lp.pending.Len() == 0 {
+		return
+	}
+	lp.queued = true
+	w.schedSeq++
+	w.sched.push(lpToken{ts: lp.pending.MinTS(), seq: w.schedSeq, lp: lp})
+}
+
+// routeEvent inserts an incoming event at its destination LP, handling
+// channel clocks, anti-messages, stragglers and rollback.
+func (w *worker) routeEvent(e *Event) {
+	dbgID(w, "route", e, "")
+	lp := w.lps[e.Dst]
+	if lp == nil {
+		w.fatal("event %v routed to worker %d which does not own LP %d", e, w.ep.Self(), e.Dst)
+	}
+	if e.Neg {
+		w.annihilate(lp, e)
+		return
+	}
+	if !lp.raiseCC(e.Src, e.Sent) {
+		w.fatal("undeclared edge %s -> %s", w.sys.Name(e.Src), w.sys.Name(e.Dst))
+	}
+	if len(lp.orphans) > 0 {
+		for i, a := range lp.orphans {
+			if a.SameButSign(e) {
+				lp.orphans = append(lp.orphans[:i], lp.orphans[i+1:]...)
+				w.metrics.Annihilated.Add(1)
+				return
+			}
+		}
+	}
+	switch lp.mode {
+	case Conservative:
+		if e.TS.Less(lp.now) {
+			w.fatal("conservative LP %s received straggler %v (local time %v): protocol violation",
+				w.sys.Name(lp.decl.id), e.TS, lp.now)
+		}
+	case Optimistic:
+		if e.TS.Less(lp.now) || (w.user && e.TS == lp.now) {
+			if i := lp.rollbackIndex(e.TS, w.user); i < len(lp.processed) {
+				w.rollbackTo(lp, i)
+			}
+		}
+	}
+	lp.pending.Push(e)
+	w.requeue(lp)
+}
+
+// annihilate cancels the positive twin of an anti-message, rolling back
+// first if the twin was already processed.
+func (w *worker) annihilate(lp *lpRT, anti *Event) {
+	match := func(e *Event) bool { return e.SameButSign(anti) }
+	if pos := lp.pending.RemoveMatching(match); pos != nil {
+		w.metrics.Annihilated.Add(1)
+		dbgID(w, "annih-pending", anti, "")
+		w.requeue(lp)
+		return
+	}
+	for k := len(lp.processed) - 1; k >= 0; k-- {
+		if lp.processed[k].ev.ID == anti.ID {
+			if lp.mode == Conservative {
+				w.fatal("conservative LP %s received anti-message for processed event %v: protocol violation",
+					w.sys.Name(lp.decl.id), anti)
+			}
+			w.rollbackTo(lp, k)
+			if pos := lp.pending.RemoveMatching(match); pos != nil {
+				w.metrics.Annihilated.Add(1)
+			}
+			return
+		}
+	}
+	if debugOrphanHook != nil {
+		debugOrphanHook(w, lp, anti)
+	}
+	lp.orphans = append(lp.orphans, anti)
+}
+
+// debugOrphanHook, when non-nil, observes anti-messages whose positive twin
+// cannot be found (test instrumentation only).
+var debugOrphanHook func(w *worker, lp *lpRT, anti *Event)
+
+// rollbackTo undoes processed events [i:], restoring the newest snapshot at
+// or before i and silently re-executing (coast-forward) up to i.
+func (w *worker) rollbackTo(lp *lpRT, i int) {
+	n := len(lp.processed)
+	count := n - i
+	w.metrics.Rollbacks.Add(1)
+	w.metrics.RolledBack.Add(uint64(count))
+	lp.rolled += uint64(count)
+	w.clock += w.cfg.Costs.RollbackBase + w.cfg.Costs.RollbackPer*float64(count)
+
+	j := lp.restoreBase(i)
+	if j < 0 {
+		w.fatal("LP %s has no restore snapshot for rollback to index %d", w.sys.Name(lp.decl.id), i)
+	}
+	lp.model.RestoreState(lp.processed[j].state)
+	if i > j {
+		// Coast-forward: replay committed-side events without re-sending.
+		savedSelf, savedNow := w.ctx.self, w.ctx.now
+		savedRec, savedSup := w.curRec, w.suppress
+		w.curRec, w.suppress = nil, true
+		for k := j; k < i; k++ {
+			rec := &lp.processed[k]
+			w.ctx.self, w.ctx.now = lp.decl.id, rec.ev.TS
+			lp.model.Execute(w.ctx, rec.ev)
+			w.metrics.CoastForward.Add(1)
+		}
+		w.ctx.self, w.ctx.now = savedSelf, savedNow
+		w.curRec, w.suppress = savedRec, savedSup
+	}
+	for k := i; k < n; k++ {
+		rec := &lp.processed[k]
+		for _, s := range rec.sends {
+			w.sendAnti(s)
+		}
+		dbgID(w, "unprocess", rec.ev, "")
+		lp.pending.Push(rec.ev)
+		lp.processed[k] = procRec{}
+	}
+	lp.processed = lp.processed[:i]
+	if i > 0 {
+		lp.now = lp.processed[i-1].ev.TS
+	} else {
+		lp.now = lp.floor
+	}
+	lp.sinceCkpt = 0 // force a snapshot on the next execution
+	w.requeue(lp)
+}
+
+// sendNulls emits channel-clock promises on every out-edge whose promise
+// improved (conservative LPs with Config.Lookahead only).
+func (w *worker) sendNulls(lp *lpRT) {
+	p := lp.promise(w.gvt)
+	for i, dst := range lp.decl.out {
+		if !lp.lastPromise[i].Less(p) {
+			continue
+		}
+		lp.lastPromise[i] = p
+		w.metrics.Nulls.Add(1)
+		w.nullsSent++
+		w.clock += w.cfg.Costs.NullCost
+		o := w.owner[dst]
+		if o == w.ep.Self() {
+			w.routeNull(lp.decl.id, dst, p)
+		} else {
+			w.sendMsg(o, &Msg{Kind: msgNull, Src: lp.decl.id, Dst: dst, TS: p})
+		}
+	}
+}
+
+// routeNull applies a promise to the receiver edge and propagates.
+func (w *worker) routeNull(src, dst LPID, ts vtime.VT) {
+	lp := w.lps[dst]
+	if lp == nil {
+		w.fatal("null %d->%d routed to worker %d which does not own the destination", src, dst, w.ep.Self())
+	}
+	i, ok := lp.edgeOf[src]
+	if !ok {
+		w.fatal("null on undeclared edge %s -> %s", w.sys.Name(src), w.sys.Name(dst))
+	}
+	if lp.edges[i].cc.Less(ts) {
+		lp.edges[i].cc = ts
+		w.requeue(lp)
+		if w.cfg.Lookahead && lp.mode == Conservative {
+			w.sendNulls(lp)
+		}
+	}
+}
+
+// gvtParticipate runs the worker side of one stop-the-world GVT round.
+func (w *worker) gvtParticipate() (done bool) {
+	w.paused = true
+	sent := make([]uint64, len(w.sentTo))
+	copy(sent, w.sentTo)
+	w.ep.Send(0, &Msg{
+		Kind:      msgGVTAck,
+		Sent:      sent,
+		Recvd:     w.recvd,
+		Clock:     w.clock,
+		Modes:     w.modeProposals(),
+		Processed: w.execTotal,
+		Nulls:     w.nullsSent,
+	})
+	var expect uint64
+	haveExpect, minSent := false, false
+	for {
+		if haveExpect && !minSent && w.recvd >= expect {
+			if w.recvd > expect {
+				w.fatal("worker %d received %d messages, expected %d", w.ep.Self(), w.recvd, expect)
+			}
+			w.ep.Send(0, &Msg{Kind: msgGVTMin, Min: w.localMin(), Clock: w.clock})
+			minSent = true
+		}
+		m := w.ep.Recv()
+		switch m.Kind {
+		case msgEvent:
+			w.recvd++
+			w.localQ = append(w.localQ, m.Ev)
+			w.drainLocal()
+		case msgNull:
+			w.recvd++
+			w.routeNull(m.Src, m.Dst, m.TS)
+			w.drainLocal()
+		case msgGVTDrain:
+			expect = m.Expect
+			haveExpect = true
+		case msgGVTNew:
+			return w.applyGVTNew(m)
+		case msgStop:
+			w.stopped = true
+			return true
+		}
+	}
+}
+
+func (w *worker) localMin() vtime.VT {
+	min := vtime.Inf
+	for _, lp := range w.owned {
+		if ts := lp.pending.MinTS(); ts.Less(min) {
+			min = ts
+		}
+	}
+	// Deferred messages are in flight but invisible to the drain counts of
+	// the current round, so they must constrain the minimum directly. An
+	// anti-message constrains GVT to STRICTLY below its timestamp: a
+	// rollback caused by an anti cancels the record at exactly the anti's
+	// timestamp, so same-timestamp anti chains do not increase in time the
+	// way straggler rollbacks do. With the strict bound, any anti that can
+	// appear after a round has a timestamp strictly above the round's GVT
+	// (by induction: root antis exceed their straggler >= GVT, and
+	// descendants are at or above their trigger), which is what makes it
+	// sound to fossil-collect at, and to let conservative LPs process
+	// events at, timestamps <= GVT.
+	for _, d := range w.deferred {
+		if d.m.Kind != msgEvent {
+			continue
+		}
+		ts := d.m.Ev.TS
+		if d.m.Ev.Neg {
+			ts = ts.Pred()
+		}
+		if ts.Less(min) {
+			min = ts
+		}
+	}
+	return min
+}
+
+// applyGVTNew installs the new GVT: clock barrier, mode switches, fossil
+// collection, adaptation-window reset and re-scheduling.
+func (w *worker) applyGVTNew(m *Msg) bool {
+	w.gvt = m.GVT
+	if w.clock < m.Clock {
+		w.clock = m.Clock
+	}
+	w.clock += w.cfg.Costs.GVTCost
+
+	w.paused = false
+	for _, d := range w.deferred {
+		w.sentTo[d.dst]++
+		w.ep.Send(d.dst, d.m)
+	}
+	w.deferred = w.deferred[:0]
+
+	// Update edge trust tables everywhere, then perform owned switches.
+	for _, id := range m.ConsLPs {
+		w.markMode(id, Conservative)
+	}
+	for _, id := range m.OptLPs {
+		w.markMode(id, Optimistic)
+	}
+	for _, id := range m.ConsLPs {
+		if lp := w.lps[id]; lp != nil {
+			w.switchToCons(lp)
+		}
+	}
+	for _, id := range m.OptLPs {
+		if lp := w.lps[id]; lp != nil {
+			w.switchToOpt(lp)
+		}
+	}
+	w.drainLocal() // anti-messages from commit-point rollbacks
+
+	for _, lp := range w.owned {
+		w.fossil(lp, m.Done)
+		lp.execs, lp.rolled, lp.wakes, lp.blockedHits = 0, 0, 0, 0
+		w.requeue(lp)
+		if !m.Done && w.cfg.Lookahead && lp.mode == Conservative {
+			w.sendNulls(lp)
+		}
+	}
+	w.execAtRound = w.execTotal
+	w.requested = false
+	if m.Done {
+		for _, lp := range w.owned {
+			w.metrics.OrphanAntis.Add(uint64(len(lp.orphans)))
+		}
+		w.finalClock = w.clock
+		return true
+	}
+	return false
+}
+
+// markMode updates the receiver-side trust of every owned edge from src.
+// A switch to conservative resets the channel clock to GVT: everything the
+// LP may still send (or cancel) after its commit-point rollback is at or
+// after GVT.
+func (w *worker) markMode(src LPID, m Mode) {
+	for _, lp := range w.watchers[src] {
+		i := lp.edgeOf[src]
+		lp.edges[i].srcCons = m == Conservative
+		if m == Conservative {
+			lp.edges[i].cc = w.gvt
+		}
+		w.requeue(lp)
+	}
+}
+
+// switchToCons commits an optimistic LP at GVT (rolling back uncommitted
+// work) and continues conservatively.
+func (w *worker) switchToCons(lp *lpRT) {
+	if lp.mode == Conservative {
+		return
+	}
+	if i := lp.rollbackIndex(w.gvt, false); i < len(lp.processed) {
+		w.rollbackTo(lp, i)
+	}
+	w.commitHistory(lp)
+	lp.mode = Conservative
+	lp.sinceCkpt = 0
+	w.metrics.ModeSwitches.Add(1)
+}
+
+// switchToOpt starts speculating: history begins empty at the current
+// (committed) local time.
+func (w *worker) switchToOpt(lp *lpRT) {
+	if lp.mode == Optimistic {
+		return
+	}
+	lp.mode = Optimistic
+	lp.sinceCkpt = 0
+	lp.floor = lp.now
+	w.metrics.ModeSwitches.Add(1)
+}
+
+// commitHistory commits every retained record's trace output and clears the
+// history.
+func (w *worker) commitHistory(lp *lpRT) {
+	for k := range lp.processed {
+		rec := &lp.processed[k]
+		dbgID(w, "commitHistory", rec.ev, "")
+		if w.sink != nil {
+			for _, item := range rec.recs {
+				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
+			}
+		}
+		lp.processed[k] = procRec{}
+	}
+	w.metrics.Fossils.Add(uint64(len(lp.processed)))
+	lp.processed = lp.processed[:0]
+	lp.floor = lp.now
+	lp.sinceCkpt = 0 // the next record must carry a snapshot
+}
+
+// fossil commits and frees the history below the commit horizon.
+func (w *worker) fossil(lp *lpRT, done bool) {
+	if lp.mode != Optimistic || len(lp.processed) == 0 {
+		return
+	}
+	if done {
+		// Final GVT is at least the horizon: everything is committed.
+		w.commitHistory(lp)
+		return
+	}
+	k := lp.rollbackIndex(w.gvt, w.user)
+	if k == len(lp.processed) {
+		w.commitHistory(lp)
+		return
+	}
+	j := lp.restoreBase(k)
+	if j <= 0 {
+		return
+	}
+	for i := 0; i < j; i++ {
+		rec := &lp.processed[i]
+		dbgID(w, "fossilCommit", rec.ev, "")
+		if w.sink != nil {
+			for _, item := range rec.recs {
+				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
+			}
+		}
+	}
+	lp.floor = lp.processed[j-1].ev.TS
+	w.metrics.Fossils.Add(uint64(j))
+	rest := make([]procRec, len(lp.processed)-j)
+	copy(rest, lp.processed[j:])
+	lp.processed = rest
+}
+
+// modeProposals implements the self-adaptation heuristic of the dynamic
+// protocol over the last adaptation window.
+func (w *worker) modeProposals() []ModePair {
+	if w.cfg.Protocol != ProtoDynamic {
+		return nil
+	}
+	var props []ModePair
+	for _, lp := range w.owned {
+		if lp.decl.forced {
+			continue
+		}
+		switch lp.mode {
+		case Optimistic:
+			if lp.execs+lp.rolled >= 16 &&
+				float64(lp.rolled) > w.cfg.AdaptRollbackHi*float64(lp.execs) {
+				props = append(props, ModePair{lp.decl.id, Conservative})
+			}
+		case Conservative:
+			if lp.wakes >= 4 &&
+				float64(lp.blockedHits) > w.cfg.AdaptBlockedHi*float64(lp.wakes) {
+				props = append(props, ModePair{lp.decl.id, Optimistic})
+			}
+		}
+	}
+	return props
+}

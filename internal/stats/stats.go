@@ -1,0 +1,166 @@
+// Package stats holds the performance counters and the virtual-processor
+// cost model used to reproduce the paper's speedup measurements.
+//
+// The paper measured wall-clock speedups on a 16-processor SGI Challenge.
+// This reproduction runs on whatever hardware is available (possibly a single
+// core), so wall-clock time cannot show parallel speedup. Instead, the
+// parallel runner executes the real protocols (real rollbacks, anti-messages,
+// null messages, GVT rounds) and charges every action to a modeled per-worker
+// clock; cross-worker messages carry the sender's clock so waiting is modeled
+// by the max() rule of a message-passing machine. The makespan of the modeled
+// machine is the maximum worker clock at termination, and speedup is the
+// modeled sequential cost divided by the makespan. Only the mapping from
+// protocol work to time is modeled — the work itself is produced by the real
+// algorithms.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// CostModel maps protocol actions to modeled time, in arbitrary cost units
+// (1.0 = one plain event execution). The default values are calibrated so the
+// relative overheads follow the paper's observations: state saving is a
+// moderate per-event tax on optimistic LPs, rollback cost grows with depth,
+// null messages are cheap individually but numerous, remote messages cost an
+// order of magnitude more than local ones, and a GVT round is a global
+// barrier.
+type CostModel struct {
+	EventCost     float64 // executing one event at an LP
+	StateSaveCost float64 // saving LP state before an optimistic event
+	RollbackBase  float64 // fixed cost of initiating a rollback
+	RollbackPer   float64 // per rolled-back event (state restore + requeue)
+	AntiCost      float64 // sending one anti-message
+	LocalMsgCost  float64 // event between LPs on the same worker
+	RemoteMsgCost float64 // event crossing workers (send+receive halves)
+	RemoteLatency float64 // wire latency added to a remote event's visibility
+	NullCost      float64 // sending or receiving one null message
+	GVTCost       float64 // per-worker cost of one GVT round (besides barrier)
+	UserOrderCost float64 // ordering one event batch in user-consistent mode
+}
+
+// Default returns the calibrated default cost model.
+func Default() CostModel {
+	return CostModel{
+		EventCost:     1.0,
+		StateSaveCost: 0.25,
+		RollbackBase:  1.0,
+		RollbackPer:   0.6,
+		AntiCost:      0.2,
+		LocalMsgCost:  0.05,
+		RemoteMsgCost: 0.3,
+		RemoteLatency: 1.0,
+		NullCost:      0.35,
+		GVTCost:       2.0,
+		UserOrderCost: 0.15,
+	}
+}
+
+// Metrics is a set of atomic protocol counters. One Metrics instance is
+// shared by all workers of a run.
+type Metrics struct {
+	Events       atomic.Uint64 // committed + later-rolled-back executions
+	Committed    atomic.Uint64 // events below final GVT (approximate: events minus rolled back)
+	Rollbacks    atomic.Uint64 // rollback episodes
+	RolledBack   atomic.Uint64 // events undone by rollbacks
+	CoastForward atomic.Uint64 // events re-executed silently after checkpoint restore
+	Antis        atomic.Uint64 // anti-messages sent
+	Annihilated  atomic.Uint64 // event/anti pairs annihilated
+	Nulls        atomic.Uint64 // null messages sent
+	LocalMsgs    atomic.Uint64 // same-worker events
+	RemoteMsgs   atomic.Uint64 // cross-worker events
+	GVTRounds    atomic.Uint64 // global synchronizations
+	ModeSwitches atomic.Uint64 // dynamic protocol mode changes
+	StateSaves   atomic.Uint64 // snapshots taken
+	Fossils      atomic.Uint64 // history records reclaimed
+	Blocked      atomic.Uint64 // times a conservative LP had events but none safe
+	OrphanAntis  atomic.Uint64 // anti-messages never matched by a positive (bug indicator)
+}
+
+// Snapshot is a plain-value copy of Metrics for reporting.
+type Snapshot struct {
+	Events, Rollbacks, RolledBack, CoastForward uint64
+	Antis, Annihilated, Nulls                   uint64
+	LocalMsgs, RemoteMsgs                       uint64
+	GVTRounds, ModeSwitches                     uint64
+	StateSaves, Fossils, Blocked, OrphanAntis   uint64
+}
+
+// Snapshot copies the counters.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Events:       m.Events.Load(),
+		Rollbacks:    m.Rollbacks.Load(),
+		RolledBack:   m.RolledBack.Load(),
+		CoastForward: m.CoastForward.Load(),
+		Antis:        m.Antis.Load(),
+		Annihilated:  m.Annihilated.Load(),
+		Nulls:        m.Nulls.Load(),
+		LocalMsgs:    m.LocalMsgs.Load(),
+		RemoteMsgs:   m.RemoteMsgs.Load(),
+		GVTRounds:    m.GVTRounds.Load(),
+		ModeSwitches: m.ModeSwitches.Load(),
+		StateSaves:   m.StateSaves.Load(),
+		Fossils:      m.Fossils.Load(),
+		Blocked:      m.Blocked.Load(),
+		OrphanAntis:  m.OrphanAntis.Load(),
+	}
+}
+
+// Efficiency returns the fraction of executed events that were not rolled
+// back. 1.0 means no wasted optimistic work.
+func (s Snapshot) Efficiency() float64 {
+	if s.Events == 0 {
+		return 1
+	}
+	return 1 - float64(s.RolledBack)/float64(s.Events)
+}
+
+// String renders the snapshot as a compact single line.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("events=%d rollbacks=%d rolledback=%d antis=%d annih=%d orphans=%d nulls=%d local=%d remote=%d gvt=%d switches=%d eff=%.3f",
+		s.Events, s.Rollbacks, s.RolledBack, s.Antis, s.Annihilated, s.OrphanAntis, s.Nulls,
+		s.LocalMsgs, s.RemoteMsgs, s.GVTRounds, s.ModeSwitches, s.Efficiency())
+}
+
+// SpeedupRow is one point of a speedup curve.
+type SpeedupRow struct {
+	Workers  int
+	Makespan float64 // modeled parallel cost
+	Speedup  float64 // sequential cost / makespan
+}
+
+// Series is a named speedup curve, e.g. one protocol configuration.
+type Series struct {
+	Name string
+	Rows []SpeedupRow
+}
+
+// FormatCurves renders speedup curves as an aligned text table with one
+// column per series, matching the paper's figure data.
+func FormatCurves(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-6s", "procs")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %12s", s.Name)
+	}
+	b.WriteByte('\n')
+	if len(series) == 0 {
+		return b.String()
+	}
+	for i := range series[0].Rows {
+		fmt.Fprintf(&b, "%-6d", series[0].Rows[i].Workers)
+		for _, s := range series {
+			if i < len(s.Rows) {
+				fmt.Fprintf(&b, " %12.2f", s.Rows[i].Speedup)
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,398 @@
+// Package stdlogic implements the IEEE Std 1164 nine-value logic system
+// (std_ulogic / std_logic), its resolution function, the standard logical
+// operator tables, and vectors with the numeric operations needed by the
+// gate-level and behavioral models in this repository.
+package stdlogic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Std is one IEEE 1164 logic value.
+type Std uint8
+
+// The nine std_ulogic values, in the order of the IEEE 1164 declaration.
+const (
+	U  Std = iota // 'U' uninitialized
+	X             // 'X' forcing unknown
+	L0            // '0' forcing 0
+	L1            // '1' forcing 1
+	Z             // 'Z' high impedance
+	W             // 'W' weak unknown
+	L             // 'L' weak 0
+	H             // 'H' weak 1
+	DC            // '-' don't care
+	numStd
+)
+
+var stdChars = [numStd]byte{'U', 'X', '0', '1', 'Z', 'W', 'L', 'H', '-'}
+
+// Rune returns the IEEE 1164 character for v.
+func (v Std) Rune() byte {
+	if v >= numStd {
+		return '?'
+	}
+	return stdChars[v]
+}
+
+// String implements fmt.Stringer with the 1164 character in single quotes.
+func (v Std) String() string { return fmt.Sprintf("'%c'", v.Rune()) }
+
+// FromRune parses an IEEE 1164 character (case-insensitive).
+func FromRune(r rune) (Std, bool) {
+	switch r {
+	case 'U', 'u':
+		return U, true
+	case 'X', 'x':
+		return X, true
+	case '0':
+		return L0, true
+	case '1':
+		return L1, true
+	case 'Z', 'z':
+		return Z, true
+	case 'W', 'w':
+		return W, true
+	case 'L', 'l':
+		return L, true
+	case 'H', 'h':
+		return H, true
+	case '-':
+		return DC, true
+	}
+	return U, false
+}
+
+// FromBool returns '1' for true and '0' for false.
+func FromBool(b bool) Std {
+	if b {
+		return L1
+	}
+	return L0
+}
+
+// resolutionTable is the IEEE 1164 resolution function table.
+// resolutionTable[a][b] is the resolved value of two drivers a and b.
+var resolutionTable = [numStd][numStd]Std{
+	//        U  X  0   1   Z  W  L  H  -
+	U:  {U, U, U, U, U, U, U, U, U},
+	X:  {U, X, X, X, X, X, X, X, X},
+	L0: {U, X, L0, X, L0, L0, L0, L0, X},
+	L1: {U, X, X, L1, L1, L1, L1, L1, X},
+	Z:  {U, X, L0, L1, Z, W, L, H, X},
+	W:  {U, X, L0, L1, W, W, W, W, X},
+	L:  {U, X, L0, L1, L, W, L, W, X},
+	H:  {U, X, L0, L1, H, W, W, H, X},
+	DC: {U, X, X, X, X, X, X, X, X},
+}
+
+// Resolve2 resolves two driver values per the IEEE 1164 resolution table.
+func Resolve2(a, b Std) Std { return resolutionTable[a][b] }
+
+// Resolve resolves any number of driver values. With no drivers the result
+// is 'Z' (matching the 1164 resolved() function applied to a null vector...
+// which actually yields 'Z' per the standard's definition over std_ulogic_vector).
+func Resolve(vals ...Std) Std {
+	r := Z
+	if len(vals) == 0 {
+		return Z
+	}
+	r = vals[0]
+	for _, v := range vals[1:] {
+		r = resolutionTable[r][v]
+	}
+	return r
+}
+
+// andTable is the IEEE 1164 "and" table.
+var andTable = [numStd][numStd]Std{
+	//        U  X  0   1   Z  W  L   H  -
+	U:  {U, U, L0, U, U, U, L0, U, U},
+	X:  {U, X, L0, X, X, X, L0, X, X},
+	L0: {L0, L0, L0, L0, L0, L0, L0, L0, L0},
+	L1: {U, X, L0, L1, X, X, L0, L1, X},
+	Z:  {U, X, L0, X, X, X, L0, X, X},
+	W:  {U, X, L0, X, X, X, L0, X, X},
+	L:  {L0, L0, L0, L0, L0, L0, L0, L0, L0},
+	H:  {U, X, L0, L1, X, X, L0, L1, X},
+	DC: {U, X, L0, X, X, X, L0, X, X},
+}
+
+// orTable is the IEEE 1164 "or" table.
+var orTable = [numStd][numStd]Std{
+	//        U  X   0  1   Z  W  L  H   -
+	U:  {U, U, U, L1, U, U, U, L1, U},
+	X:  {U, X, X, L1, X, X, X, L1, X},
+	L0: {U, X, L0, L1, X, X, L0, L1, X},
+	L1: {L1, L1, L1, L1, L1, L1, L1, L1, L1},
+	Z:  {U, X, X, L1, X, X, X, L1, X},
+	W:  {U, X, X, L1, X, X, X, L1, X},
+	L:  {U, X, L0, L1, X, X, L0, L1, X},
+	H:  {L1, L1, L1, L1, L1, L1, L1, L1, L1},
+	DC: {U, X, X, L1, X, X, X, L1, X},
+}
+
+// xorTable is the IEEE 1164 "xor" table.
+var xorTable = [numStd][numStd]Std{
+	//        U  X  0   1   Z  W  L   H   -
+	U:  {U, U, U, U, U, U, U, U, U},
+	X:  {U, X, X, X, X, X, X, X, X},
+	L0: {U, X, L0, L1, X, X, L0, L1, X},
+	L1: {U, X, L1, L0, X, X, L1, L0, X},
+	Z:  {U, X, X, X, X, X, X, X, X},
+	W:  {U, X, X, X, X, X, X, X, X},
+	L:  {U, X, L0, L1, X, X, L0, L1, X},
+	H:  {U, X, L1, L0, X, X, L1, L0, X},
+	DC: {U, X, X, X, X, X, X, X, X},
+}
+
+// notTable is the IEEE 1164 "not" table.
+var notTable = [numStd]Std{U, X, L1, L0, X, X, L1, L0, X}
+
+// And returns IEEE 1164 a and b.
+func And(a, b Std) Std { return andTable[a][b] }
+
+// Or returns IEEE 1164 a or b.
+func Or(a, b Std) Std { return orTable[a][b] }
+
+// Xor returns IEEE 1164 a xor b.
+func Xor(a, b Std) Std { return xorTable[a][b] }
+
+// Not returns IEEE 1164 not a.
+func Not(a Std) Std { return notTable[a] }
+
+// Nand returns not (a and b).
+func Nand(a, b Std) Std { return notTable[andTable[a][b]] }
+
+// Nor returns not (a or b).
+func Nor(a, b Std) Std { return notTable[orTable[a][b]] }
+
+// Xnor returns not (a xor b).
+func Xnor(a, b Std) Std { return notTable[xorTable[a][b]] }
+
+// To01 maps weak values onto their forcing equivalents: 'H'->'1', 'L'->'0',
+// '1'/'0' unchanged, everything else 'X' (the xmap of ieee.numeric_std TO_01
+// with XMAP => 'X').
+func To01(v Std) Std {
+	switch v {
+	case L0, L:
+		return L0
+	case L1, H:
+		return L1
+	default:
+		return X
+	}
+}
+
+// IsHigh reports whether v reads as logic 1 ('1' or 'H').
+func IsHigh(v Std) bool { return v == L1 || v == H }
+
+// IsLow reports whether v reads as logic 0 ('0' or 'L').
+func IsLow(v Std) bool { return v == L0 || v == L }
+
+// Is01 reports whether v is a forcing or weak 0/1.
+func Is01(v Std) bool { return IsHigh(v) || IsLow(v) }
+
+// Vec is a std_logic_vector. Index 0 is the leftmost element of the VHDL
+// object; for the usual "N-1 downto 0" declaration, Vec[0] is the MSB.
+type Vec []Std
+
+// NewVec returns a vector of n elements, all set to fill.
+func NewVec(n int, fill Std) Vec {
+	v := make(Vec, n)
+	for i := range v {
+		v[i] = fill
+	}
+	return v
+}
+
+// VecFromString parses a VHDL bit-string literal body such as "1010ZX".
+func VecFromString(s string) (Vec, error) {
+	v := make(Vec, 0, len(s))
+	for _, r := range s {
+		b, ok := FromRune(r)
+		if !ok {
+			return nil, fmt.Errorf("stdlogic: invalid std_logic character %q", r)
+		}
+		v = append(v, b)
+	}
+	return v, nil
+}
+
+// MustVec is VecFromString that panics on error; for tests and literals.
+func MustVec(s string) Vec {
+	v, err := VecFromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// String renders the vector as a quoted bit string, MSB first.
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, e := range v {
+		b.WriteByte(e.Rune())
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports element-wise equality.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Is01 reports whether every element is a (weak or forcing) 0/1.
+func (v Vec) Is01() bool {
+	for _, e := range v {
+		if !Is01(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// FromUint returns an n-element vector holding the unsigned binary value of
+// x, MSB first (the "n-1 downto 0" layout). Bits above n are truncated.
+func FromUint(x uint64, n int) Vec {
+	v := make(Vec, n)
+	for i := 0; i < n; i++ {
+		if x&(1<<uint(n-1-i)) != 0 {
+			v[i] = L1
+		} else {
+			v[i] = L0
+		}
+	}
+	return v
+}
+
+// FromInt returns an n-element two's-complement vector for x.
+func FromInt(x int64, n int) Vec { return FromUint(uint64(x), n) }
+
+// Uint interprets the vector as unsigned binary (MSB first). The second
+// result is false if any element is not 0/1 or the vector exceeds 64 bits.
+func (v Vec) Uint() (uint64, bool) {
+	if len(v) > 64 {
+		return 0, false
+	}
+	var x uint64
+	for _, e := range v {
+		x <<= 1
+		switch {
+		case IsHigh(e):
+			x |= 1
+		case IsLow(e):
+		default:
+			return 0, false
+		}
+	}
+	return x, true
+}
+
+// Int interprets the vector as two's-complement signed binary.
+func (v Vec) Int() (int64, bool) {
+	x, ok := v.Uint()
+	if !ok {
+		return 0, false
+	}
+	if len(v) > 0 && len(v) < 64 && IsHigh(v[0]) {
+		// Sign-extend.
+		x |= ^uint64(0) << uint(len(v))
+	}
+	return int64(x), true
+}
+
+func mapBinary(a, b Vec, f func(Std, Std) Std) Vec {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("stdlogic: length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make(Vec, n)
+	for i := range out {
+		out[i] = f(a[i], b[i])
+	}
+	return out
+}
+
+// AndVec returns the element-wise "and" of equal-length vectors.
+func AndVec(a, b Vec) Vec { return mapBinary(a, b, And) }
+
+// OrVec returns the element-wise "or".
+func OrVec(a, b Vec) Vec { return mapBinary(a, b, Or) }
+
+// XorVec returns the element-wise "xor".
+func XorVec(a, b Vec) Vec { return mapBinary(a, b, Xor) }
+
+// NotVec returns the element-wise "not".
+func NotVec(a Vec) Vec {
+	out := make(Vec, len(a))
+	for i := range out {
+		out[i] = Not(a[i])
+	}
+	return out
+}
+
+// AddVec adds two equal-length vectors as unsigned binary with wraparound,
+// like ieee.numeric_std "+" on unsigned. If either operand contains a
+// non-0/1 element the whole result is 'X'.
+func AddVec(a, b Vec) Vec {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("stdlogic: length mismatch %d vs %d", len(a), len(b)))
+	}
+	x, okA := a.Uint()
+	y, okB := b.Uint()
+	if !okA || !okB || n > 64 {
+		return NewVec(n, X)
+	}
+	return FromUint(x+y, n)
+}
+
+// SubVec subtracts b from a as unsigned binary with wraparound.
+func SubVec(a, b Vec) Vec {
+	n := len(a)
+	if len(b) != n {
+		panic(fmt.Sprintf("stdlogic: length mismatch %d vs %d", len(a), len(b)))
+	}
+	x, okA := a.Uint()
+	y, okB := b.Uint()
+	if !okA || !okB || n > 64 {
+		return NewVec(n, X)
+	}
+	return FromUint(x-y, n)
+}
+
+// ResolveVec resolves equal-length driver vectors element-wise.
+func ResolveVec(drivers ...Vec) Vec {
+	if len(drivers) == 0 {
+		return nil
+	}
+	out := drivers[0].Clone()
+	for _, d := range drivers[1:] {
+		if len(d) != len(out) {
+			panic(fmt.Sprintf("stdlogic: resolve length mismatch %d vs %d", len(d), len(out)))
+		}
+		for i := range out {
+			out[i] = Resolve2(out[i], d[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package stdlogic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allStd() []Std {
+	return []Std{U, X, L0, L1, Z, W, L, H, DC}
+}
+
+func TestRuneRoundTrip(t *testing.T) {
+	for _, v := range allStd() {
+		got, ok := FromRune(rune(v.Rune()))
+		if !ok || got != v {
+			t.Errorf("FromRune(Rune(%v)) = %v, %v", v, got, ok)
+		}
+	}
+	if _, ok := FromRune('q'); ok {
+		t.Error("FromRune('q') succeeded")
+	}
+}
+
+func TestResolutionCommutative(t *testing.T) {
+	for _, a := range allStd() {
+		for _, b := range allStd() {
+			if Resolve2(a, b) != Resolve2(b, a) {
+				t.Errorf("Resolve2(%v,%v) != Resolve2(%v,%v)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestResolutionAssociative(t *testing.T) {
+	for _, a := range allStd() {
+		for _, b := range allStd() {
+			for _, c := range allStd() {
+				if Resolve2(Resolve2(a, b), c) != Resolve2(a, Resolve2(b, c)) {
+					t.Errorf("resolution not associative at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestResolutionIdentities(t *testing.T) {
+	// 'Z' is the identity element of resolution.
+	for _, a := range allStd() {
+		if Resolve2(a, Z) != a && !(a == DC && Resolve2(a, Z) == X) {
+			// Per IEEE 1164, '-' resolved with 'Z' yields 'X', everything
+			// else is unchanged by 'Z'.
+			t.Errorf("Resolve2(%v, Z) = %v", a, Resolve2(a, Z))
+		}
+	}
+	// 'U' dominates everything.
+	for _, a := range allStd() {
+		if Resolve2(a, U) != U {
+			t.Errorf("Resolve2(%v, U) = %v, want U", a, Resolve2(a, U))
+		}
+	}
+	// Driver conflict between forcing 0 and 1 is 'X'.
+	if Resolve2(L0, L1) != X {
+		t.Errorf("Resolve2('0','1') = %v, want 'X'", Resolve2(L0, L1))
+	}
+	// Forcing beats weak.
+	if Resolve2(L0, H) != L0 || Resolve2(L1, L) != L1 {
+		t.Error("forcing value did not beat weak value")
+	}
+}
+
+func TestResolveVariadic(t *testing.T) {
+	if got := Resolve(); got != Z {
+		t.Errorf("Resolve() = %v, want Z", got)
+	}
+	if got := Resolve(H); got != H {
+		t.Errorf("Resolve(H) = %v", got)
+	}
+	if got := Resolve(Z, L, H); got != W {
+		t.Errorf("Resolve(Z,L,H) = %v, want W", got)
+	}
+	if got := Resolve(Z, Z, L1); got != L1 {
+		t.Errorf("Resolve(Z,Z,1) = %v, want 1", got)
+	}
+}
+
+func TestLogicTablesOn01(t *testing.T) {
+	// On clean 0/1 inputs the tables must agree with boolean logic.
+	bools := []struct {
+		v Std
+		b bool
+	}{{L0, false}, {L1, true}}
+	for _, a := range bools {
+		for _, b := range bools {
+			if And(a.v, b.v) != FromBool(a.b && b.b) {
+				t.Errorf("And(%v,%v)", a.v, b.v)
+			}
+			if Or(a.v, b.v) != FromBool(a.b || b.b) {
+				t.Errorf("Or(%v,%v)", a.v, b.v)
+			}
+			if Xor(a.v, b.v) != FromBool(a.b != b.b) {
+				t.Errorf("Xor(%v,%v)", a.v, b.v)
+			}
+			if Nand(a.v, b.v) != FromBool(!(a.b && b.b)) {
+				t.Errorf("Nand(%v,%v)", a.v, b.v)
+			}
+			if Nor(a.v, b.v) != FromBool(!(a.b || b.b)) {
+				t.Errorf("Nor(%v,%v)", a.v, b.v)
+			}
+			if Xnor(a.v, b.v) != FromBool(a.b == b.b) {
+				t.Errorf("Xnor(%v,%v)", a.v, b.v)
+			}
+		}
+		if Not(a.v) != FromBool(!a.b) {
+			t.Errorf("Not(%v)", a.v)
+		}
+	}
+}
+
+func TestLogicTablesDominance(t *testing.T) {
+	// '0' dominates "and"; '1' dominates "or" — for every input value.
+	for _, a := range allStd() {
+		if And(a, L0) != L0 || And(L0, a) != L0 {
+			t.Errorf("And(%v, '0') != '0'", a)
+		}
+		if Or(a, L1) != L1 || Or(L1, a) != L1 {
+			t.Errorf("Or(%v, '1') != '1'", a)
+		}
+	}
+}
+
+func TestLogicTablesCommutative(t *testing.T) {
+	for _, a := range allStd() {
+		for _, b := range allStd() {
+			if And(a, b) != And(b, a) || Or(a, b) != Or(b, a) || Xor(a, b) != Xor(b, a) {
+				t.Errorf("non-commutative at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestDeMorgan(t *testing.T) {
+	// De Morgan holds exactly in the 1164 tables.
+	for _, a := range allStd() {
+		for _, b := range allStd() {
+			if Nand(a, b) != Or(Not(a), Not(b)) {
+				t.Errorf("De Morgan nand failed at %v,%v", a, b)
+			}
+			if Nor(a, b) != And(Not(a), Not(b)) {
+				t.Errorf("De Morgan nor failed at %v,%v", a, b)
+			}
+		}
+	}
+}
+
+func TestTo01(t *testing.T) {
+	cases := map[Std]Std{U: X, X: X, L0: L0, L1: L1, Z: X, W: X, L: L0, H: L1, DC: X}
+	for in, want := range cases {
+		if got := To01(in); got != want {
+			t.Errorf("To01(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	v := MustVec("10ZX")
+	if v.String() != `"10ZX"` {
+		t.Errorf("String() = %s", v.String())
+	}
+	if _, err := VecFromString("10q"); err == nil {
+		t.Error("VecFromString accepted bad character")
+	}
+}
+
+func TestVecUintRoundTrip(t *testing.T) {
+	f := func(x uint16) bool {
+		v := FromUint(uint64(x), 16)
+		y, ok := v.Uint()
+		return ok && y == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecIntRoundTrip(t *testing.T) {
+	f := func(x int16) bool {
+		v := FromInt(int64(x), 16)
+		y, ok := v.Int()
+		return ok && y == int64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecUintRejectsX(t *testing.T) {
+	v := MustVec("1X01")
+	if _, ok := v.Uint(); ok {
+		t.Error("Uint() accepted 'X'")
+	}
+	v = MustVec("1H0L")
+	if x, ok := v.Uint(); !ok || x != 0b1100 {
+		t.Errorf("Uint() on weak values = %d, %v", x, ok)
+	}
+}
+
+func TestAddSubVec(t *testing.T) {
+	f := func(a, b uint8) bool {
+		av, bv := FromUint(uint64(a), 8), FromUint(uint64(b), 8)
+		sum, _ := AddVec(av, bv).Uint()
+		diff, _ := SubVec(av, bv).Uint()
+		return sum == uint64(a+b) && diff == uint64(a-b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// X poisons arithmetic.
+	if got := AddVec(MustVec("1X"), MustVec("01")); !got.Equal(MustVec("XX")) {
+		t.Errorf("AddVec with X = %v", got)
+	}
+}
+
+func TestVecLogicOps(t *testing.T) {
+	a, b := MustVec("1100"), MustVec("1010")
+	if got := AndVec(a, b); !got.Equal(MustVec("1000")) {
+		t.Errorf("AndVec = %v", got)
+	}
+	if got := OrVec(a, b); !got.Equal(MustVec("1110")) {
+		t.Errorf("OrVec = %v", got)
+	}
+	if got := XorVec(a, b); !got.Equal(MustVec("0110")) {
+		t.Errorf("XorVec = %v", got)
+	}
+	if got := NotVec(a); !got.Equal(MustVec("0011")) {
+		t.Errorf("NotVec = %v", got)
+	}
+}
+
+func TestVecLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	AndVec(MustVec("10"), MustVec("101"))
+}
+
+func TestResolveVec(t *testing.T) {
+	got := ResolveVec(MustVec("Z1"), MustVec("0Z"))
+	if !got.Equal(MustVec("01")) {
+		t.Errorf("ResolveVec = %v", got)
+	}
+	got = ResolveVec(MustVec("11"), MustVec("10"))
+	if !got.Equal(MustVec("1X")) {
+		t.Errorf("ResolveVec conflict = %v", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := MustVec("1010")
+	b := a.Clone()
+	b[0] = X
+	if a[0] != L1 {
+		t.Error("Clone aliases original")
+	}
+	if a.Equal(b) {
+		t.Error("Equal after divergence")
+	}
+}

@@ -1,0 +1,276 @@
+// Package trace collects committed simulation records, compares runs
+// against the sequential oracle, and renders value-change dumps (VCD).
+//
+// Under optimistic simulation records are committed out of order and from
+// several workers; the recorder therefore stores everything and sorts by
+// (virtual time, LP, rendered item) on demand, which is a deterministic
+// total order for the kernel's records (one effective-value change per
+// signal per virtual time).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"govhdl/internal/kernel"
+	"govhdl/internal/pdes"
+	"govhdl/internal/stdlogic"
+	"govhdl/internal/vtime"
+)
+
+// Entry is one committed record.
+type Entry struct {
+	LP   pdes.LPID
+	TS   vtime.VT
+	Item any
+}
+
+// Recorder is a thread-safe pdes.TraceSink.
+type Recorder struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Commit implements pdes.TraceSink.
+func (r *Recorder) Commit(lp pdes.LPID, ts vtime.VT, item any) {
+	r.mu.Lock()
+	r.entries = append(r.entries, Entry{LP: lp, TS: ts, Item: item})
+	r.mu.Unlock()
+}
+
+// Len returns the number of committed records.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Sorted returns the entries in deterministic (TS, LP, item) order.
+func (r *Recorder) Sorted() []Entry {
+	r.mu.Lock()
+	out := append([]Entry(nil), r.entries...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS.Less(out[j].TS)
+		}
+		if out[i].LP != out[j].LP {
+			return out[i].LP < out[j].LP
+		}
+		return fmt.Sprint(out[i].Item) < fmt.Sprint(out[j].Item)
+	})
+	return out
+}
+
+// Lines renders the sorted entries with LP names from sys, one per line.
+func (r *Recorder) Lines(sys *pdes.System) []string {
+	entries := r.Sorted()
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		lines[i] = fmt.Sprintf("%s @%v %s", sys.Name(e.LP), e.TS, renderItem(e.Item))
+	}
+	return lines
+}
+
+func renderItem(item any) string {
+	switch it := item.(type) {
+	case kernel.SigChange:
+		return "= " + renderValue(it.Value)
+	case kernel.ReportNote:
+		return fmt.Sprintf("report(%s): %s", it.Severity, it.Message)
+	default:
+		return fmt.Sprint(item)
+	}
+}
+
+func renderValue(v kernel.Value) string {
+	switch val := v.(type) {
+	case stdlogic.Std:
+		return val.String()
+	case stdlogic.Vec:
+		return val.String()
+	case bool:
+		return fmt.Sprintf("%t", val)
+	case int64:
+		return fmt.Sprintf("%d", val)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// Equal reports whether two recorders hold the same committed trace for the
+// same system, and returns the first difference otherwise — the
+// "all simulations were verified to be correct" check of the paper.
+func Equal(sys *pdes.System, a, b *Recorder) (bool, string) {
+	la, lb := a.Lines(sys), b.Lines(sys)
+	if len(la) != len(lb) {
+		return false, fmt.Sprintf("record counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			return false, fmt.Sprintf("record %d differs:\n  a: %s\n  b: %s", i, la[i], lb[i])
+		}
+	}
+	return true, ""
+}
+
+// WriteVCD renders the signal changes as a Value Change Dump. Only
+// kernel.SigChange records from LPs named "sig:<name>" are dumped; delta
+// cycles collapse onto their physical time, keeping the last value of each
+// time step, as waveform viewers expect.
+func WriteVCD(w io.Writer, sys *pdes.System, r *Recorder, designName string) error {
+	entries := r.Sorted()
+
+	// Collect dumped signals in first-appearance order.
+	type sigInfo struct {
+		name  string
+		id    string
+		width int
+	}
+	idFor := map[pdes.LPID]*sigInfo{}
+	var sigs []*sigInfo
+	nextID := 0
+	mkID := func() string {
+		// VCD identifier characters: printable ASCII 33..126.
+		n := nextID
+		nextID++
+		var b []byte
+		for {
+			b = append(b, byte(33+n%94))
+			n = n / 94
+			if n == 0 {
+				break
+			}
+		}
+		return string(b)
+	}
+	widthOf := func(v kernel.Value) int {
+		if vec, ok := v.(stdlogic.Vec); ok {
+			return len(vec)
+		}
+		if _, ok := v.(int64); ok {
+			return 64
+		}
+		return 1
+	}
+	for _, e := range entries {
+		sc, ok := e.Item.(kernel.SigChange)
+		if !ok {
+			continue
+		}
+		name := sys.Name(e.LP)
+		if !strings.HasPrefix(name, "sig:") {
+			continue
+		}
+		if _, seen := idFor[e.LP]; !seen {
+			si := &sigInfo{name: strings.TrimPrefix(name, "sig:"), id: mkID(), width: widthOf(sc.Value)}
+			idFor[e.LP] = si
+			sigs = append(sigs, si)
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "$date\n  govhdl\n$end\n$version\n  govhdl distributed VHDL simulator\n$end\n$timescale\n  1fs\n$end\n$scope module %s $end\n", designName); err != nil {
+		return err
+	}
+	for _, si := range sigs {
+		kind := "wire"
+		if _, err := fmt.Fprintf(w, "$var %s %d %s %s $end\n", kind, si.width, si.id, si.name); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return err
+	}
+
+	// Emit changes grouped by physical time, keeping only the last value a
+	// signal takes within one time step (delta collapse).
+	var curTime vtime.Time
+	started := false
+	pendingVals := map[string]string{} // id -> vcd value text
+	var order []string
+	flush := func() error {
+		if !started {
+			return nil
+		}
+		if len(order) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(w, "#%d\n", uint64(curTime)); err != nil {
+			return err
+		}
+		for _, id := range order {
+			if _, err := fmt.Fprintln(w, pendingVals[id]); err != nil {
+				return err
+			}
+		}
+		pendingVals = map[string]string{}
+		order = order[:0]
+		return nil
+	}
+	for _, e := range entries {
+		sc, ok := e.Item.(kernel.SigChange)
+		if !ok {
+			continue
+		}
+		si, ok := idFor[e.LP]
+		if !ok {
+			continue
+		}
+		if !started || e.TS.PT != curTime {
+			if err := flush(); err != nil {
+				return err
+			}
+			curTime = e.TS.PT
+			started = true
+		}
+		if _, dup := pendingVals[si.id]; !dup {
+			order = append(order, si.id)
+		}
+		pendingVals[si.id] = vcdValue(sc.Value, si.id)
+	}
+	return flush()
+}
+
+func vcdValue(v kernel.Value, id string) string {
+	switch val := v.(type) {
+	case stdlogic.Std:
+		return vcdBit(val) + id
+	case stdlogic.Vec:
+		var b strings.Builder
+		b.WriteByte('b')
+		for _, e := range val {
+			b.WriteString(vcdBit(e))
+		}
+		b.WriteByte(' ')
+		b.WriteString(id)
+		return b.String()
+	case bool:
+		if val {
+			return "1" + id
+		}
+		return "0" + id
+	case int64:
+		return fmt.Sprintf("b%b %s", uint64(val), id)
+	default:
+		return "x" + id
+	}
+}
+
+func vcdBit(s stdlogic.Std) string {
+	switch {
+	case stdlogic.IsHigh(s):
+		return "1"
+	case stdlogic.IsLow(s):
+		return "0"
+	case s == stdlogic.Z:
+		return "z"
+	default:
+		return "x"
+	}
+}

@@ -1,0 +1,412 @@
+package vhdl
+
+// Pos is a source position.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// ---- Design units ----
+
+// DesignFile is a parsed VHDL source file.
+type DesignFile struct {
+	File     string
+	Entities []*EntityDecl
+	Archs    []*ArchBody
+}
+
+// EntityDecl is an entity declaration.
+type EntityDecl struct {
+	Pos      Pos
+	Name     string
+	Generics []*GenericDecl
+	Ports    []*PortDecl
+}
+
+// GenericDecl is one generic (integer constants only).
+type GenericDecl struct {
+	Pos     Pos
+	Name    string
+	Type    *TypeRef
+	Default Expr // may be nil
+}
+
+// PortMode is a port direction.
+type PortMode uint8
+
+const (
+	ModeIn PortMode = iota
+	ModeOut
+	ModeInOut
+)
+
+func (m PortMode) String() string {
+	switch m {
+	case ModeOut:
+		return "out"
+	case ModeInOut:
+		return "inout"
+	default:
+		return "in"
+	}
+}
+
+// PortDecl is one port.
+type PortDecl struct {
+	Pos     Pos
+	Name    string
+	Mode    PortMode
+	Type    *TypeRef
+	Default Expr // may be nil
+}
+
+// ArchBody is an architecture body.
+type ArchBody struct {
+	Pos        Pos
+	Name       string
+	EntityName string
+	Decls      []Decl
+	Stmts      []ConcStmt
+}
+
+// ---- Declarations ----
+
+// Decl is a block or process declarative item.
+type Decl interface{ declNode() }
+
+// SignalDecl declares signals.
+type SignalDecl struct {
+	Pos   Pos
+	Names []string
+	Type  *TypeRef
+	Init  Expr // may be nil
+}
+
+// ConstDecl declares constants.
+type ConstDecl struct {
+	Pos   Pos
+	Names []string
+	Type  *TypeRef
+	Value Expr
+}
+
+// VarDecl declares process variables.
+type VarDecl struct {
+	Pos   Pos
+	Names []string
+	Type  *TypeRef
+	Init  Expr // may be nil
+}
+
+// EnumTypeDecl declares an enumeration type.
+type EnumTypeDecl struct {
+	Pos      Pos
+	Name     string
+	Literals []string
+}
+
+// ComponentDecl declares a component interface.
+type ComponentDecl struct {
+	Pos      Pos
+	Name     string
+	Generics []*GenericDecl
+	Ports    []*PortDecl
+}
+
+func (*SignalDecl) declNode()    {}
+func (*ConstDecl) declNode()     {}
+func (*VarDecl) declNode()       {}
+func (*EnumTypeDecl) declNode()  {}
+func (*ComponentDecl) declNode() {}
+
+// TypeRef is a type indication: a type mark with an optional constraint,
+// e.g. std_logic_vector(7 downto 0) or integer range 0 to 15.
+type TypeRef struct {
+	Pos    Pos
+	Name   string
+	Lo, Hi Expr // constraint bounds (nil when unconstrained)
+	Downto bool // direction of an index constraint
+	HasRng bool
+}
+
+// ---- Concurrent statements ----
+
+// ConcStmt is a concurrent statement.
+type ConcStmt interface{ concNode() }
+
+// ProcessStmt is a process.
+type ProcessStmt struct {
+	Pos         Pos
+	Label       string
+	Sensitivity []string // nil when absent
+	Decls       []Decl
+	Body        []Stmt
+}
+
+// CondAssign is a concurrent (conditional) signal assignment:
+// target <= w1 when c1 else w2 when c2 else w3;
+type CondAssign struct {
+	Pos       Pos
+	Label     string
+	Target    *Name
+	Transport bool
+	Reject    Expr      // nil unless "reject t inertial"
+	Arms      []CondArm // last arm's Cond is nil
+}
+
+// CondArm is one "waveform when cond" arm.
+type CondArm struct {
+	Wave []WaveElem
+	Cond Expr // nil for the final else
+}
+
+// SelAssign is a selected signal assignment:
+// with expr select target <= w1 when c1|c2, w2 when others;
+type SelAssign struct {
+	Pos       Pos
+	Label     string
+	Selector  Expr
+	Target    *Name
+	Transport bool
+	Reject    Expr
+	Arms      []SelArm
+}
+
+// SelArm is one "waveform when choices" arm of a selected assignment.
+type SelArm struct {
+	Wave    []WaveElem
+	Choices []Expr // empty with Others
+	Others  bool
+}
+
+// InstStmt instantiates a component or entity.
+type InstStmt struct {
+	Pos        Pos
+	Label      string
+	Unit       string // component or entity name
+	DirectEnt  bool   // "entity work.foo" form
+	GenericMap []Assoc
+	PortMap    []Assoc
+}
+
+// Assoc is one association element (named or positional).
+type Assoc struct {
+	Formal string // "" for positional
+	Actual Expr   // nil for open
+}
+
+// GenerateStmt is a for-generate.
+type GenerateStmt struct {
+	Pos    Pos
+	Label  string
+	Var    string
+	Lo, Hi Expr
+	Downto bool
+	Body   []ConcStmt
+}
+
+func (*ProcessStmt) concNode()  {}
+func (*SelAssign) concNode()    {}
+func (*CondAssign) concNode()   {}
+func (*InstStmt) concNode()     {}
+func (*GenerateStmt) concNode() {}
+
+// ---- Sequential statements ----
+
+// Stmt is a sequential statement.
+type Stmt interface{ stmtNode() }
+
+// WaveElem is one "value [after delay]" waveform element.
+type WaveElem struct {
+	Value Expr
+	After Expr // nil for no delay
+}
+
+// SigAssign is a sequential signal assignment.
+type SigAssign struct {
+	Pos       Pos
+	Target    *Name
+	Transport bool
+	Reject    Expr // nil unless "reject t inertial"
+	Wave      []WaveElem
+}
+
+// VarAssign is a variable assignment.
+type VarAssign struct {
+	Pos    Pos
+	Target *Name
+	Value  Expr
+}
+
+// IfStmt is if/elsif/else.
+type IfStmt struct {
+	Pos   Pos
+	Cond  Expr
+	Then  []Stmt
+	Elifs []Elif
+	Else  []Stmt
+}
+
+// Elif is one elsif arm.
+type Elif struct {
+	Cond Expr
+	Then []Stmt
+}
+
+// CaseStmt is a case statement.
+type CaseStmt struct {
+	Pos  Pos
+	Expr Expr
+	Arms []CaseArm
+}
+
+// CaseArm is one "when choices =>" arm; Others marks "when others".
+type CaseArm struct {
+	Choices []Expr // empty when Others
+	Others  bool
+	Body    []Stmt
+}
+
+// ForLoop is a for loop.
+type ForLoop struct {
+	Pos    Pos
+	Label  string
+	Var    string
+	Lo, Hi Expr
+	Downto bool
+	// RangeAttr, when set, iterates over a named object's range
+	// (for i in x'range loop).
+	RangeAttr *Name
+	Body      []Stmt
+}
+
+// WhileLoop is a while (or plain) loop.
+type WhileLoop struct {
+	Pos   Pos
+	Label string
+	Cond  Expr // nil for a plain loop
+	Body  []Stmt
+}
+
+// WaitStmt is wait [on ...] [until ...] [for ...].
+type WaitStmt struct {
+	Pos     Pos
+	On      []string
+	Until   Expr
+	For     Expr
+	HasFor  bool
+	HasCond bool
+}
+
+// NullStmt is the null statement.
+type NullStmt struct{ Pos Pos }
+
+// ReportStmt is report/assert.
+type ReportStmt struct {
+	Pos      Pos
+	Assert   Expr // nil for plain report
+	Message  Expr // may be nil for assert without report
+	Severity string
+}
+
+// ExitStmt is exit [label] [when cond].
+type ExitStmt struct {
+	Pos   Pos
+	Label string
+	When  Expr
+}
+
+// NextStmt is next [label] [when cond].
+type NextStmt struct {
+	Pos   Pos
+	Label string
+	When  Expr
+}
+
+func (*SigAssign) stmtNode()  {}
+func (*VarAssign) stmtNode()  {}
+func (*IfStmt) stmtNode()     {}
+func (*CaseStmt) stmtNode()   {}
+func (*ForLoop) stmtNode()    {}
+func (*WhileLoop) stmtNode()  {}
+func (*WaitStmt) stmtNode()   {}
+func (*NullStmt) stmtNode()   {}
+func (*ReportStmt) stmtNode() {}
+func (*ExitStmt) stmtNode()   {}
+func (*NextStmt) stmtNode()   {}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Name is an identifier with optional indexing/slicing/attribute suffixes:
+// foo, foo(3), foo(7 downto 4), foo'event.
+type Name struct {
+	Pos   Pos
+	Ident string
+	// Index is non-nil for foo(expr) — also used for call arguments and
+	// type conversions, disambiguated during analysis.
+	Args []Expr
+	// Slice bounds for foo(hi downto lo) / foo(lo to hi).
+	SliceLo, SliceHi Expr
+	SliceDownto      bool
+	HasSlice         bool
+	// Attr holds an attribute name after a tick.
+	Attr string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+// TimeLit is a physical time literal (42 ns).
+type TimeLit struct {
+	Pos  Pos
+	Val  int64
+	Unit string
+}
+
+// CharLit is a character literal ('0').
+type CharLit struct {
+	Pos Pos
+	Val byte
+}
+
+// StrLit is a string literal ("0101").
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+// Unary is a unary operation (not, -, +, abs).
+type Unary struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// Aggregate supports (others => '0') and positional aggregates.
+type Aggregate struct {
+	Pos    Pos
+	Elems  []Expr
+	Others Expr // (others => e)
+}
+
+func (*Name) exprNode()      {}
+func (*IntLit) exprNode()    {}
+func (*TimeLit) exprNode()   {}
+func (*CharLit) exprNode()   {}
+func (*StrLit) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Aggregate) exprNode() {}

@@ -1,0 +1,439 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"govhdl/internal/stdlogic"
+	"govhdl/internal/vtime"
+)
+
+const condAssignSrc = `
+entity mux_tb is end entity;
+architecture sim of mux_tb is
+  signal sel : std_logic := '0';
+  signal y : std_logic_vector(1 downto 0) := "00";
+begin
+  stim : process
+  begin
+    wait for 10 ns;
+    sel <= '1';
+    wait for 10 ns;
+    sel <= '0';
+    wait;
+  end process;
+  y <= "01" when sel = '0' else "10";
+end architecture;
+`
+
+func TestConditionalConcurrentAssign(t *testing.T) {
+	_, sys, rec := simulate(t, condAssignSrc, "mux_tb", 40*vtime.NS)
+	traceContains(t, sys, rec,
+		`sig:mux_tb.y @0fs`, `= "01"`, // initial evaluation
+		`sig:mux_tb.y @10ns`, `= "10"`,
+		`sig:mux_tb.y @20ns`,
+	)
+}
+
+const vecCaseSrc = `
+entity vc is end entity;
+architecture sim of vc is
+  signal code : std_logic_vector(1 downto 0) := "00";
+  signal seg : integer := 0;
+begin
+  stim : process
+  begin
+    wait for 5 ns;
+    code <= "01";
+    wait for 5 ns;
+    code <= "11";
+    wait;
+  end process;
+  dec : process (code)
+  begin
+    case code is
+      when "00" => seg <= 1;
+      when "01" | "10" => seg <= 2;
+      when others => seg <= 3;
+    end case;
+  end process;
+end architecture;
+`
+
+func TestCaseOnVectorsWithChoices(t *testing.T) {
+	_, sys, rec := simulate(t, vecCaseSrc, "vc", 30*vtime.NS)
+	traceContains(t, sys, rec, "= 1", "= 2", "= 3")
+}
+
+const whileSrc = `
+entity wl is end entity;
+architecture sim of wl is
+  signal total : integer := 0;
+begin
+  p : process
+    variable i : integer := 0;
+    variable acc : integer := 0;
+  begin
+    while i < 10 loop
+      i := i + 1;
+      acc := acc + i;
+    end loop;
+    total <= acc;
+    wait;
+  end process;
+end architecture;
+`
+
+func TestWhileLoop(t *testing.T) {
+	_, sys, rec := simulate(t, whileSrc, "wl", 10*vtime.NS)
+	traceContains(t, sys, rec, "= 55")
+}
+
+const varVecSrc = `
+entity vv is end entity;
+architecture sim of vv is
+  signal ones : integer := 0;
+  signal flipped : std_logic_vector(3 downto 0) := "0000";
+begin
+  p : process
+    variable v : std_logic_vector(3 downto 0) := "1010";
+    variable n : integer := 0;
+  begin
+    v(0) := '1';
+    for i in v'range loop
+      if v(i) = '1' then
+        n := n + 1;
+      end if;
+    end loop;
+    ones <= n;
+    flipped <= not v;
+    wait;
+  end process;
+end architecture;
+`
+
+func TestVariableVectorElementAssignAndRangeLoop(t *testing.T) {
+	_, sys, rec := simulate(t, varVecSrc, "vv", 10*vtime.NS)
+	// v becomes "1011": three ones; not v = "0100".
+	traceContains(t, sys, rec, "= 3", `= "0100"`)
+}
+
+const transportSrc = `
+entity tr is end entity;
+architecture sim of tr is
+  signal a, t1, t2 : std_logic := '0';
+begin
+  stim : process
+  begin
+    wait for 10 ns;
+    a <= '1';
+    wait for 1 ns;
+    a <= '0';
+    wait;
+  end process;
+  t1 <= transport a after 5 ns;
+  p2 : process (a)
+  begin
+    t2 <= reject 2 ns inertial a after 5 ns;
+  end process;
+end architecture;
+`
+
+func TestTransportAndRejectSyntax(t *testing.T) {
+	_, sys, rec := simulate(t, transportSrc, "tr", 40*vtime.NS)
+	// Transport passes the 1ns pulse.
+	traceContains(t, sys, rec, "sig:tr.t1 @15ns", "sig:tr.t1 @16ns")
+	// reject 2ns: the 1ns pulse is inside the rejection window -> swallowed.
+	joined := strings.Join(rec.Lines(sys), "\n")
+	if strings.Contains(joined, "sig:tr.t2 @15ns") {
+		t.Errorf("reject-inertial let a 1ns pulse through:\n%s", joined)
+	}
+}
+
+const multiWaveSrc = `
+entity mw is end entity;
+architecture sim of mw is
+  signal s : std_logic := '0';
+begin
+  p : process
+  begin
+    s <= '1' after 2 ns, '0' after 5 ns, '1' after 9 ns;
+    wait;
+  end process;
+end architecture;
+`
+
+func TestMultiElementWaveform(t *testing.T) {
+	_, sys, rec := simulate(t, multiWaveSrc, "mw", 20*vtime.NS)
+	traceContains(t, sys, rec, "sig:mw.s @2ns", "sig:mw.s @5ns", "sig:mw.s @9ns")
+}
+
+const sliceSrc = `
+entity sl is end entity;
+architecture sim of sl is
+  constant WORD : std_logic_vector(7 downto 0) := "11001010";
+  signal hi, lo : std_logic_vector(3 downto 0) := "0000";
+begin
+  p : process
+  begin
+    hi <= WORD(7 downto 4);
+    lo <= WORD(3 downto 0);
+    wait;
+  end process;
+end architecture;
+`
+
+func TestSliceReads(t *testing.T) {
+	_, sys, rec := simulate(t, sliceSrc, "sl", 10*vtime.NS)
+	traceContains(t, sys, rec, `= "1100"`, `= "1010"`)
+}
+
+const genericChainSrc = `
+entity stage is
+  generic (DELAY_NS : integer := 1);
+  port (x : in std_logic; y : out std_logic);
+end entity;
+architecture rtl of stage is
+begin
+  y <= not x after DELAY_NS * 1 ns;
+end architecture;
+
+entity chain4 is end entity;
+architecture structural of chain4 is
+  signal n0, n1, n2 : std_logic := '0';
+begin
+  s1 : entity work.stage generic map (DELAY_NS => 2) port map (x => n0, y => n1);
+  s2 : entity work.stage generic map (DELAY_NS => 3) port map (x => n1, y => n2);
+  kick : process
+  begin
+    wait for 10 ns;
+    n0 <= '1';
+    wait;
+  end process;
+end architecture;
+`
+
+func TestGenericsControlDelays(t *testing.T) {
+	_, sys, rec := simulate(t, genericChainSrc, "chain4", 40*vtime.NS)
+	// n1 flips at 12ns (2ns stage), n2 at 15ns (3ns stage) — plus the
+	// time-zero initial evaluations.
+	traceContains(t, sys, rec, "sig:chain4.n1 @12ns", "sig:chain4.n2 @15ns")
+}
+
+func TestDeltaLimitFromVHDL(t *testing.T) {
+	src := `
+entity osc is end entity;
+architecture sim of osc is
+  signal a : std_logic := '0';
+begin
+  a <= not a;
+end architecture;
+`
+	d := elaborate(t, src, "osc")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("zero-delay oscillator did not trip the delta limit")
+		}
+		if !strings.Contains(strings.ToLower(strings.TrimSpace(toString(r))), "delta") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	runAnySim(t, d)
+}
+
+func toString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	if e, ok := v.(error); ok {
+		return e.Error()
+	}
+	return ""
+}
+
+func TestInoutPortRoundTrip(t *testing.T) {
+	src := `
+entity buskeeper is
+  port (b : inout std_logic);
+end entity;
+architecture rtl of buskeeper is
+begin
+  p : process
+  begin
+    wait for 10 ns;
+    b <= '1';
+    wait for 10 ns;
+    b <= 'Z';
+    wait;
+  end process;
+end entity;
+`
+	// "end entity" instead of "end architecture" is actually accepted by
+	// some tools; ours requires the right closer — expect a parse error.
+	lib := NewLibrary()
+	if err := lib.ParseAndAdd("x.vhd", src); err == nil {
+		// If parsing succeeded, elaboration+simulation must also work.
+		d, err := lib.Elaborate("buskeeper")
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAnySim(t, d)
+	}
+}
+
+func TestWidthMismatchCaught(t *testing.T) {
+	src := `
+entity wm is end entity;
+architecture sim of wm is
+  signal v : std_logic_vector(3 downto 0) := "0000";
+begin
+  p : process
+  begin
+    v <= "101";
+    wait;
+  end process;
+end architecture;
+`
+	d := elaborate(t, src, "wm")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width mismatch not caught")
+		}
+	}()
+	runAnySim(t, d)
+}
+
+func TestStdValuesPropagate(t *testing.T) {
+	// 'U'/'X' propagation through gates, the nine-value semantics end to
+	// end: an uninitialized input yields 'U' through and gates per 1164.
+	src := `
+entity up is end entity;
+architecture sim of up is
+  signal u_in : std_logic;
+  signal one : std_logic := '1';
+  signal y : std_logic := '0';
+begin
+  y <= u_in and one;
+end architecture;
+`
+	dsn, s, r := simulate(t, src, "up", 10*vtime.NS)
+	traceContains(t, s, r, "= 'U'")
+	sig := findSignal(t, dsn, "up.y")
+	if v := dsn.Effective(sig); v != stdlogic.U {
+		t.Errorf("y = %v, want 'U'", v)
+	}
+}
+
+const selAssignSrc = `
+entity sa is end entity;
+architecture sim of sa is
+  signal sel : std_logic_vector(1 downto 0) := "00";
+  signal y : integer := 0;
+begin
+  stim : process
+  begin
+    wait for 5 ns;
+    sel <= "01";
+    wait for 5 ns;
+    sel <= "10";
+    wait for 5 ns;
+    sel <= "11";
+    wait;
+  end process;
+  with sel select
+    y <= 10 when "00",
+         20 when "01" | "10",
+         30 when others;
+end architecture;
+`
+
+func TestSelectedSignalAssignment(t *testing.T) {
+	_, sys, rec := simulate(t, selAssignSrc, "sa", 30*vtime.NS)
+	traceContains(t, sys, rec, "= 10", "= 20", "= 30")
+	joined := strings.Join(rec.Lines(sys), "\n")
+	// "01" and "10" both map to 20: only one change event between them.
+	if strings.Count(joined, "= 20") != 1 {
+		t.Errorf("expected exactly one change to 20:\n%s", joined)
+	}
+}
+
+// TestParserNeverPanics mutates a valid source in many ways; the parser
+// must always return an error or a tree, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	base := counterSrc
+	mutants := make([]string, 0, 256)
+	// Truncations.
+	for i := 0; i < len(base); i += 37 {
+		mutants = append(mutants, base[:i])
+	}
+	// Character substitutions.
+	subs := []byte{';', '(', ')', '\'', '"', '<', '=', '0', 'x', ' '}
+	for i := 13; i < len(base); i += 101 {
+		for _, c := range subs {
+			b := []byte(base)
+			b[i] = c
+			mutants = append(mutants, string(b))
+		}
+	}
+	// Deletions of 10-byte windows.
+	for i := 0; i+10 < len(base); i += 53 {
+		mutants = append(mutants, base[:i]+base[i+10:])
+	}
+	for k, m := range mutants {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutant %d panicked: %v", k, r)
+				}
+			}()
+			_, _ = Parse("mut.vhd", m)
+		}()
+	}
+}
+
+// TestElaborateNeverPanicsOnParseableMutants: parseable mutants must
+// elaborate or produce an error, never crash.
+func TestElaborateNeverPanicsOnParseableMutants(t *testing.T) {
+	base := enumFSMSrc
+	for i := 0; i+8 < len(base); i += 67 {
+		m := base[:i] + base[i+8:]
+		df, err := Parse("mut.vhd", m)
+		if err != nil {
+			continue
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutant at %d: elaboration panicked: %v", i, r)
+				}
+			}()
+			lib := NewLibrary()
+			if err := lib.Add(df); err != nil {
+				return
+			}
+			_, _ = lib.Elaborate("fsm")
+		}()
+	}
+}
+
+const imageSrc = `
+entity im is end entity;
+architecture sim of im is
+  signal x : integer := 0;
+begin
+  p : process
+    variable n : integer := 7;
+  begin
+    x <= n * 6;
+    wait for 1 ns;
+    report "x=" & integer'image(x) & " done";
+    wait;
+  end process;
+end architecture;
+`
+
+func TestImageAttributeAndStringConcat(t *testing.T) {
+	_, sys, rec := simulate(t, imageSrc, "im", 10*vtime.NS)
+	traceContains(t, sys, rec, "report(note): x=42 done")
+}

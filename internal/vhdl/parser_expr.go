@@ -1,0 +1,354 @@
+package vhdl
+
+import "strconv"
+
+// Expression grammar with VHDL's operator precedence:
+//
+//	expr       := relation { (and|or|nand|nor|xor|xnor) relation }
+//	relation   := shift [ (=|/=|<|<=|>|>=) shift ]
+//	shift      := simple [ (sll|srl) simple ]
+//	simple     := [+|-] term { (+|-|&) term }
+//	term       := factor { (*|/|mod|rem) factor }
+//	factor     := primary [** primary] | abs primary | not primary
+//	primary    := name | literal | aggregate | ( expr )
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseRelation()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := ""
+		for _, w := range []string{"and", "or", "nand", "nor", "xor", "xnor"} {
+			if p.isKw(w) {
+				op = w
+				break
+			}
+		}
+		if op == "" {
+			return l, nil
+		}
+		pos := p.pos0()
+		p.next()
+		r, err := p.parseRelation()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseRelation() (Expr, error) {
+	l, err := p.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	op := ""
+	switch {
+	case p.at(tokEq):
+		op = "="
+	case p.at(tokNeq):
+		op = "/="
+	case p.at(tokLt):
+		op = "<"
+	case p.at(tokArrowSig):
+		op = "<=" // in expression context, <= is less-or-equal
+	case p.at(tokGt):
+		op = ">"
+	case p.at(tokGe):
+		op = ">="
+	}
+	if op == "" {
+		return l, nil
+	}
+	pos := p.pos0()
+	p.next()
+	r, err := p.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Pos: pos, Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseShift() (Expr, error) {
+	l, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	op := ""
+	switch {
+	case p.isKw("sll"):
+		op = "sll"
+	case p.isKw("srl"):
+		op = "srl"
+	}
+	if op == "" {
+		return l, nil
+	}
+	pos := p.pos0()
+	p.next()
+	r, err := p.parseSimple()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Pos: pos, Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseSimple() (Expr, error) {
+	pos := p.pos0()
+	neg := false
+	if p.accept(tokMinus) {
+		neg = true
+	} else {
+		p.accept(tokPlus)
+	}
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		l = &Unary{Pos: pos, Op: "-", X: l}
+	}
+	for {
+		op := ""
+		switch {
+		case p.at(tokPlus):
+			op = "+"
+		case p.at(tokMinus):
+			op = "-"
+		case p.at(tokAmp):
+			op = "&"
+		}
+		if op == "" {
+			return l, nil
+		}
+		opos := p.pos0()
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: opos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := ""
+		switch {
+		case p.at(tokStar):
+			op = "*"
+		case p.at(tokSlash):
+			op = "/"
+		case p.isKw("mod"):
+			op = "mod"
+		case p.isKw("rem"):
+			op = "rem"
+		}
+		if op == "" {
+			return l, nil
+		}
+		pos := p.pos0()
+		p.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Pos: pos, Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	pos := p.pos0()
+	switch {
+	case p.isKw("not"):
+		p.next()
+		x, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "not", X: x}, nil
+	case p.isKw("abs"):
+		p.next()
+		x, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: "abs", X: x}, nil
+	}
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokStarStar) {
+		p.next()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Pos: pos, Op: "**", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// timeUnits maps VHDL physical time unit names to femtoseconds.
+var timeUnits = map[string]int64{
+	"fs": 1, "ps": 1e3, "ns": 1e6, "us": 1e9, "ms": 1e12, "sec": 1e15,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.pos0()
+	switch t := p.cur(); t.Kind {
+	case tokInt:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.Text)
+		}
+		// Physical literal: integer followed by a time unit.
+		if p.at(tokIdent) {
+			if _, ok := timeUnits[p.cur().Text]; ok {
+				unit := p.next().Text
+				return &TimeLit{Pos: pos, Val: v, Unit: unit}, nil
+			}
+		}
+		return &IntLit{Pos: pos, Val: v}, nil
+	case tokReal:
+		return nil, p.errorf("real literals are not supported")
+	case tokChar:
+		p.next()
+		return &CharLit{Pos: pos, Val: t.Text[0]}, nil
+	case tokString:
+		p.next()
+		return &StrLit{Pos: pos, Val: t.Text}, nil
+	case tokLParen:
+		return p.parseParenOrAggregate()
+	case tokIdent:
+		return p.parseName()
+	case tokKeyword:
+		// Boolean literals and others arrive as identifiers in VHDL; only
+		// "others" aggregates and similar are handled elsewhere.
+		return nil, p.errorf("unexpected keyword %q in expression", t.Text)
+	}
+	return nil, p.errorf("unexpected %v in expression", p.cur())
+}
+
+// parseParenOrAggregate handles (expr), (others => e) and positional
+// aggregates (a, b, c).
+func (p *parser) parseParenOrAggregate() (Expr, error) {
+	pos := p.pos0()
+	p.next() // (
+	if p.isKw("others") {
+		p.next()
+		if _, err := p.expect(tokArrow); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Aggregate{Pos: pos, Others: e}, nil
+	}
+	first, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokRParen) {
+		return first, nil
+	}
+	agg := &Aggregate{Pos: pos, Elems: []Expr{first}}
+	for p.accept(tokComma) {
+		if p.isKw("others") {
+			p.next()
+			if _, err := p.expect(tokArrow); err != nil {
+				return nil, err
+			}
+			if agg.Others, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			break
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		agg.Elems = append(agg.Elems, e)
+	}
+	_, err = p.expect(tokRParen)
+	return agg, err
+}
+
+// parseName parses identifier with optional (args | slice) and 'attribute.
+func (p *parser) parseName() (*Name, error) {
+	pos := p.pos0()
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	n := &Name{Pos: pos, Ident: id}
+	if p.accept(tokLParen) {
+		// Either a slice (expr to/downto expr) or argument list.
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.isKw("downto"), p.isKw("to"):
+			n.SliceDownto = p.cur().Text == "downto"
+			p.next()
+			if n.SliceHi, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			n.SliceLo = first
+			n.HasSlice = true
+		default:
+			n.Args = []Expr{first}
+			for p.accept(tokComma) {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				n.Args = append(n.Args, a)
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokTick) {
+		var attr string
+		switch {
+		case p.at(tokIdent):
+			attr = p.next().Text
+		case p.isKw("range"):
+			p.next()
+			attr = "range"
+		default:
+			return nil, p.errorf("expected attribute name after tick")
+		}
+		n.Attr = attr
+		// Attributes may take arguments: integer'image(x).
+		if p.accept(tokLParen) {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				n.Args = append(n.Args, a)
+				if !p.accept(tokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,739 @@
+package vhdl
+
+// ---- Concurrent statements ----
+
+func (p *parser) parseConcStmt() (ConcStmt, error) {
+	// Optional label.
+	label := ""
+	if p.at(tokIdent) && p.toks[p.pos+1].Kind == tokColon {
+		label = p.next().Text
+		p.next() // colon
+	}
+	switch {
+	case p.isKw("process"):
+		return p.parseProcess(label)
+	case p.isKw("with"):
+		return p.parseSelAssign(label)
+	case p.isKw("for"):
+		return p.parseGenerate(label)
+	case p.isKw("component"), p.isKw("entity"):
+		return p.parseInst(label)
+	case p.at(tokIdent):
+		// Either an instantiation ("label: unit port map (...)") or a
+		// concurrent signal assignment ("name <= ...").
+		if label != "" && !p.looksLikeAssign() {
+			return p.parseInst(label)
+		}
+		return p.parseCondAssign(label)
+	}
+	return nil, p.errorf("unsupported concurrent statement starting with %v", p.cur())
+}
+
+// looksLikeAssign scans ahead for "<=" before the next semicolon at paren
+// depth zero, distinguishing "lbl: name <= e;" from "lbl: comp port map".
+func (p *parser) looksLikeAssign() bool {
+	depth := 0
+	for i := p.pos; i < len(p.toks); i++ {
+		switch p.toks[i].Kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+		case tokArrowSig:
+			if depth == 0 {
+				return true
+			}
+		case tokSemi, tokEOF:
+			return false
+		case tokKeyword:
+			if w := p.toks[i].Text; depth == 0 && (w == "port" || w == "generic") {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+func (p *parser) parseProcess(label string) (*ProcessStmt, error) {
+	pos := p.pos0()
+	p.next() // process
+	ps := &ProcessStmt{Pos: pos, Label: label}
+	if p.accept(tokLParen) {
+		names, err := p.parseIdentList()
+		if err != nil {
+			return nil, err
+		}
+		ps.Sensitivity = names
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	p.acceptKw("is")
+	for !p.isKw("begin") {
+		switch {
+		case p.isKw("variable"):
+			d, err := p.parseVarDecl()
+			if err != nil {
+				return nil, err
+			}
+			ps.Decls = append(ps.Decls, d)
+		case p.isKw("constant"), p.isKw("type"):
+			d, err := p.parseBlockDecl()
+			if err != nil {
+				return nil, err
+			}
+			ps.Decls = append(ps.Decls, d)
+		default:
+			return nil, p.errorf("unsupported process declaration starting with %v", p.cur())
+		}
+	}
+	p.next() // begin
+	body, err := p.parseStmts()
+	if err != nil {
+		return nil, err
+	}
+	ps.Body = body
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if p.at(tokIdent) {
+		p.next()
+	}
+	_, err = p.expect(tokSemi)
+	return ps, err
+}
+
+func (p *parser) parseVarDecl() (*VarDecl, error) {
+	pos := p.pos0()
+	p.next() // variable
+	names, err := p.parseIdentList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	tr, err := p.parseTypeRef()
+	if err != nil {
+		return nil, err
+	}
+	var init Expr
+	if p.accept(tokAssign) {
+		if init, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokSemi); err != nil {
+		return nil, err
+	}
+	return &VarDecl{Pos: pos, Names: names, Type: tr, Init: init}, nil
+}
+
+func (p *parser) parseCondAssign(label string) (*CondAssign, error) {
+	pos := p.pos0()
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrowSig); err != nil {
+		return nil, err
+	}
+	ca := &CondAssign{Pos: pos, Label: label, Target: target}
+	switch {
+	case p.acceptKw("transport"):
+		ca.Transport = true
+	case p.acceptKw("reject"):
+		if ca.Reject, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("inertial"); err != nil {
+			return nil, err
+		}
+	case p.acceptKw("inertial"):
+	}
+	for {
+		wave, err := p.parseWaveform()
+		if err != nil {
+			return nil, err
+		}
+		arm := CondArm{Wave: wave}
+		if p.acceptKw("when") {
+			if arm.Cond, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			ca.Arms = append(ca.Arms, arm)
+			if err := p.expectKw("else"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ca.Arms = append(ca.Arms, arm)
+		break
+	}
+	_, err = p.expect(tokSemi)
+	return ca, err
+}
+
+// parseSelAssign parses "with sel select target <= wave when choices, ...;".
+func (p *parser) parseSelAssign(label string) (*SelAssign, error) {
+	pos := p.pos0()
+	p.next() // with
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrowSig); err != nil {
+		return nil, err
+	}
+	sa := &SelAssign{Pos: pos, Label: label, Selector: sel, Target: target}
+	switch {
+	case p.acceptKw("transport"):
+		sa.Transport = true
+	case p.acceptKw("reject"):
+		if sa.Reject, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("inertial"); err != nil {
+			return nil, err
+		}
+	case p.acceptKw("inertial"):
+	}
+	for {
+		wave, err := p.parseWaveform()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("when"); err != nil {
+			return nil, err
+		}
+		arm := SelArm{Wave: wave}
+		if p.isKw("others") {
+			p.next()
+			arm.Others = true
+		} else {
+			for {
+				c, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				arm.Choices = append(arm.Choices, c)
+				if !p.accept(tokBar) {
+					break
+				}
+			}
+		}
+		sa.Arms = append(sa.Arms, arm)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	_, err = p.expect(tokSemi)
+	return sa, err
+}
+
+func (p *parser) parseInst(label string) (*InstStmt, error) {
+	pos := p.pos0()
+	if label == "" {
+		return nil, p.errorf("instantiation requires a label")
+	}
+	inst := &InstStmt{Pos: pos, Label: label}
+	switch {
+	case p.acceptKw("entity"):
+		inst.DirectEnt = true
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		// Accept "work.name" or a bare name.
+		if p.accept(tokDot) {
+			if name, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		inst.Unit = name
+		if p.accept(tokLParen) { // optional architecture name
+			if _, err := p.expectIdent(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		p.acceptKw("component")
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		inst.Unit = name
+	}
+	var err error
+	if p.isKw("generic") {
+		p.next()
+		if err := p.expectKw("map"); err != nil {
+			return nil, err
+		}
+		if inst.GenericMap, err = p.parseAssocList(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isKw("port") {
+		p.next()
+		if err := p.expectKw("map"); err != nil {
+			return nil, err
+		}
+		if inst.PortMap, err = p.parseAssocList(); err != nil {
+			return nil, err
+		}
+	}
+	_, err = p.expect(tokSemi)
+	return inst, err
+}
+
+func (p *parser) parseAssocList() ([]Assoc, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var out []Assoc
+	for {
+		var a Assoc
+		// Named association: ident => actual.
+		if p.at(tokIdent) && p.toks[p.pos+1].Kind == tokArrow {
+			a.Formal = p.next().Text
+			p.next() // =>
+		}
+		if p.isKw("open") {
+			p.next()
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.Actual = e
+		}
+		out = append(out, a)
+		if !p.accept(tokComma) {
+			break
+		}
+	}
+	_, err := p.expect(tokRParen)
+	return out, err
+}
+
+func (p *parser) parseGenerate(label string) (*GenerateStmt, error) {
+	pos := p.pos0()
+	if label == "" {
+		return nil, p.errorf("generate requires a label")
+	}
+	p.next() // for
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	g := &GenerateStmt{Pos: pos, Label: label, Var: v}
+	if g.Lo, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptKw("downto"):
+		g.Downto = true
+	case p.acceptKw("to"):
+	default:
+		return nil, p.errorf("expected 'to' or 'downto' in generate range")
+	}
+	if g.Hi, err = p.parseExpr(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("generate"); err != nil {
+		return nil, err
+	}
+	for !p.isKw("end") {
+		s, err := p.parseConcStmt()
+		if err != nil {
+			return nil, err
+		}
+		g.Body = append(g.Body, s)
+	}
+	p.next() // end
+	if err := p.expectKw("generate"); err != nil {
+		return nil, err
+	}
+	if p.at(tokIdent) {
+		p.next()
+	}
+	_, err = p.expect(tokSemi)
+	return g, err
+}
+
+// ---- Sequential statements ----
+
+// parseStmts parses statements until end/elsif/else/when.
+func (p *parser) parseStmts() ([]Stmt, error) {
+	var out []Stmt
+	for {
+		if p.isKw("end") || p.isKw("elsif") || p.isKw("else") || p.isKw("when") {
+			return out, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.pos0()
+	// Optional loop label.
+	label := ""
+	if p.at(tokIdent) && p.toks[p.pos+1].Kind == tokColon {
+		label = p.next().Text
+		p.next()
+	}
+	switch {
+	case p.isKw("if"):
+		return p.parseIf()
+	case p.isKw("case"):
+		return p.parseCase()
+	case p.isKw("for"), p.isKw("while"), p.isKw("loop"):
+		return p.parseLoop(label)
+	case p.isKw("wait"):
+		return p.parseWait()
+	case p.isKw("null"):
+		p.next()
+		_, err := p.expect(tokSemi)
+		return &NullStmt{Pos: pos}, err
+	case p.isKw("report"):
+		p.next()
+		msg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sev := ""
+		if p.acceptKw("severity") {
+			if sev, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokSemi)
+		return &ReportStmt{Pos: pos, Message: msg, Severity: sev}, err
+	case p.isKw("assert"):
+		p.next()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st := &ReportStmt{Pos: pos, Assert: cond}
+		if p.acceptKw("report") {
+			if st.Message, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if p.acceptKw("severity") {
+			if st.Severity, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		}
+		_, err = p.expect(tokSemi)
+		return st, err
+	case p.isKw("exit"), p.isKw("next"):
+		isExit := p.next().Text == "exit"
+		lbl := ""
+		if p.at(tokIdent) {
+			lbl = p.next().Text
+		}
+		var when Expr
+		var err error
+		if p.acceptKw("when") {
+			if when, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		if isExit {
+			return &ExitStmt{Pos: pos, Label: lbl, When: when}, nil
+		}
+		return &NextStmt{Pos: pos, Label: lbl, When: when}, nil
+	case p.at(tokIdent):
+		return p.parseAssignStmt()
+	}
+	return nil, p.errorf("unsupported statement starting with %v", p.cur())
+}
+
+func (p *parser) parseAssignStmt() (Stmt, error) {
+	pos := p.pos0()
+	target, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(tokAssign):
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return &VarAssign{Pos: pos, Target: target, Value: v}, nil
+	case p.accept(tokArrowSig):
+		sa := &SigAssign{Pos: pos, Target: target}
+		switch {
+		case p.acceptKw("transport"):
+			sa.Transport = true
+		case p.acceptKw("reject"):
+			if sa.Reject, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("inertial"); err != nil {
+				return nil, err
+			}
+		case p.acceptKw("inertial"):
+		}
+		if sa.Wave, err = p.parseWaveform(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSemi); err != nil {
+			return nil, err
+		}
+		return sa, nil
+	}
+	return nil, p.errorf("expected ':=' or '<=' after name, found %v", p.cur())
+}
+
+func (p *parser) parseWaveform() ([]WaveElem, error) {
+	var wave []WaveElem
+	for {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		we := WaveElem{Value: v}
+		if p.acceptKw("after") {
+			if we.After, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		wave = append(wave, we)
+		if !p.accept(tokComma) {
+			return wave, nil
+		}
+	}
+}
+
+func (p *parser) parseIf() (*IfStmt, error) {
+	pos := p.pos0()
+	p.next() // if
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	st := &IfStmt{Pos: pos, Cond: cond}
+	if st.Then, err = p.parseStmts(); err != nil {
+		return nil, err
+	}
+	for p.isKw("elsif") {
+		p.next()
+		var e Elif
+		if e.Cond, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		if e.Then, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+		st.Elifs = append(st.Elifs, e)
+	}
+	if p.acceptKw("else") {
+		if st.Else, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("if"); err != nil {
+		return nil, err
+	}
+	_, err = p.expect(tokSemi)
+	return st, err
+}
+
+func (p *parser) parseCase() (*CaseStmt, error) {
+	pos := p.pos0()
+	p.next() // case
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	st := &CaseStmt{Pos: pos, Expr: e}
+	for p.isKw("when") {
+		p.next()
+		var arm CaseArm
+		if p.isKw("others") {
+			p.next()
+			arm.Others = true
+		} else {
+			for {
+				c, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				arm.Choices = append(arm.Choices, c)
+				if !p.accept(tokBar) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokArrow); err != nil {
+			return nil, err
+		}
+		if arm.Body, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+		st.Arms = append(st.Arms, arm)
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("case"); err != nil {
+		return nil, err
+	}
+	_, err = p.expect(tokSemi)
+	return st, err
+}
+
+func (p *parser) parseLoop(label string) (Stmt, error) {
+	pos := p.pos0()
+	switch {
+	case p.acceptKw("for"):
+		v, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("in"); err != nil {
+			return nil, err
+		}
+		fl := &ForLoop{Pos: pos, Label: label, Var: v}
+		// "x'range" iteration or "lo to hi".
+		lo, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if n, ok := lo.(*Name); ok && n.Attr == "range" {
+			fl.RangeAttr = n
+		} else {
+			fl.Lo = lo
+			switch {
+			case p.acceptKw("downto"):
+				fl.Downto = true
+			case p.acceptKw("to"):
+			default:
+				return nil, p.errorf("expected 'to' or 'downto' in for range")
+			}
+			if fl.Hi, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("loop"); err != nil {
+			return nil, err
+		}
+		if fl.Body, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return fl, nil
+	case p.acceptKw("while"):
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("loop"); err != nil {
+			return nil, err
+		}
+		wl := &WhileLoop{Pos: pos, Label: label, Cond: cond}
+		if wl.Body, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return wl, nil
+	default: // plain loop
+		p.next() // loop
+		wl := &WhileLoop{Pos: pos, Label: label}
+		var err error
+		if wl.Body, err = p.parseStmts(); err != nil {
+			return nil, err
+		}
+		if err := p.endLoop(); err != nil {
+			return nil, err
+		}
+		return wl, nil
+	}
+}
+
+func (p *parser) endLoop() error {
+	if err := p.expectKw("end"); err != nil {
+		return err
+	}
+	if err := p.expectKw("loop"); err != nil {
+		return err
+	}
+	if p.at(tokIdent) {
+		p.next()
+	}
+	_, err := p.expect(tokSemi)
+	return err
+}
+
+func (p *parser) parseWait() (*WaitStmt, error) {
+	pos := p.pos0()
+	p.next() // wait
+	st := &WaitStmt{Pos: pos}
+	var err error
+	if p.acceptKw("on") {
+		if st.On, err = p.parseIdentList(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKw("until") {
+		if st.Until, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		st.HasCond = true
+	}
+	if p.acceptKw("for") {
+		if st.For, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		st.HasFor = true
+	}
+	_, err = p.expect(tokSemi)
+	return st, err
+}

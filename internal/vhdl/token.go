@@ -1,0 +1,145 @@
+// Package vhdl implements a front end for a synthesizable-plus-testbench
+// subset of IEEE Std 1076 VHDL: lexer, parser, semantic analysis and
+// elaboration into the distributed kernel's process/signal graph, plus an
+// interpreter for process bodies whose resumption state is an explicit
+// stack, making interpreted processes snapshot-able and therefore safe to
+// roll back under optimistic simulation (the paper's VHDL-to-C translator
+// achieved run()/suspend semantics with generated C classes; the explicit
+// interpreter stack is this reproduction's equivalent).
+//
+// Supported subset (documented deviations in DESIGN.md):
+//
+//   - entity with generics (integer) and ports (in/out/inout)
+//   - architecture with signal/constant declarations, enumeration types
+//   - process statements with sensitivity lists or wait statements
+//     (wait on / until / for), variables, if/elsif/else, case, for/while
+//     loops, exit/next, null, report/assert, signal and variable assignment
+//     with inertial/transport delays and multi-element waveforms
+//   - concurrent (conditional) signal assignment, component and direct
+//     entity instantiation, for-generate
+//   - types: std_(u)logic, std_logic_vector, bit, bit_vector, boolean,
+//     integer (with ranges), time, enumerations
+//   - operators: logical, relational, +, -, &, *, /, mod, rem, **, abs,
+//     not, sll, srl; attributes 'event, 'length, 'range, 'left, 'right,
+//     'high, 'low; rising_edge/falling_edge and other ieee builtins
+package vhdl
+
+import "fmt"
+
+// tokKind enumerates token categories.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt     // 42
+	tokReal    // 3.14 (parsed, rejected in analysis where unsupported)
+	tokChar    // '0'
+	tokString  // "0101"
+	tokKeyword // reserved word (Text holds the lower-cased word)
+	// Delimiters.
+	tokSemi     // ;
+	tokColon    // :
+	tokComma    // ,
+	tokLParen   // (
+	tokRParen   // )
+	tokAssign   // :=
+	tokArrowSig // <=  (also less-equal; parser disambiguates)
+	tokArrow    // =>
+	tokEq       // =
+	tokNeq      // /=
+	tokLt       // <
+	tokGt       // >
+	tokGe       // >=
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokStarStar // **
+	tokSlash    // /
+	tokAmp      // &
+	tokTick     // '
+	tokDot      // .
+	tokBar      // |
+)
+
+var kindNames = map[tokKind]string{
+	tokEOF: "end of file", tokIdent: "identifier", tokInt: "integer literal",
+	tokReal: "real literal", tokChar: "character literal", tokString: "string literal",
+	tokKeyword: "keyword", tokSemi: "';'", tokColon: "':'", tokComma: "','",
+	tokLParen: "'('", tokRParen: "')'", tokAssign: "':='", tokArrowSig: "'<='",
+	tokArrow: "'=>'", tokEq: "'='", tokNeq: "'/='", tokLt: "'<'", tokGt: "'>'",
+	tokGe: "'>='", tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'",
+	tokStarStar: "'**'", tokSlash: "'/'", tokAmp: "'&'", tokTick: "'''",
+	tokDot: "'.'", tokBar: "'|'",
+}
+
+func (k tokKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// token is one lexical token.
+type token struct {
+	Kind tokKind
+	Text string // identifier (lower-cased), keyword, or literal body
+	Line int
+	Col  int
+}
+
+func (t token) String() string {
+	switch t.Kind {
+	case tokIdent, tokKeyword:
+		return fmt.Sprintf("%q", t.Text)
+	case tokInt, tokReal:
+		return t.Text
+	case tokChar:
+		return "'" + t.Text + "'"
+	case tokString:
+		return `"` + t.Text + `"`
+	default:
+		return t.Kind.String()
+	}
+}
+
+// keywords is the set of reserved words of the supported subset (plus the
+// reserved words we must recognize to reject gracefully).
+var keywords = map[string]bool{
+	"abs": true, "after": true, "alias": true, "all": true, "and": true,
+	"architecture": true, "array": true, "assert": true, "attribute": true,
+	"begin": true, "block": true, "body": true, "buffer": true, "bus": true,
+	"case": true, "component": true, "configuration": true, "constant": true,
+	"disconnect": true, "downto": true, "else": true, "elsif": true,
+	"end": true, "entity": true, "exit": true, "file": true, "for": true,
+	"function": true, "generate": true, "generic": true, "group": true,
+	"guarded": true, "if": true, "impure": true, "in": true, "inertial": true,
+	"inout": true, "is": true, "label": true, "library": true, "linkage": true,
+	"literal": true, "loop": true, "map": true, "mod": true, "nand": true,
+	"new": true, "next": true, "nor": true, "not": true, "null": true,
+	"of": true, "on": true, "open": true, "or": true, "others": true,
+	"out": true, "package": true, "port": true, "postponed": true,
+	"procedure": true, "process": true, "pure": true, "range": true,
+	"record": true, "register": true, "reject": true, "rem": true,
+	"report": true, "return": true, "rol": true, "ror": true, "select": true,
+	"severity": true, "signal": true, "shared": true, "sla": true,
+	"sll": true, "sra": true, "srl": true, "subtype": true, "then": true,
+	"to": true, "transport": true, "type": true, "unaffected": true,
+	"units": true, "until": true, "use": true, "variable": true, "wait": true,
+	"when": true, "while": true, "with": true, "xnor": true, "xor": true,
+}
+
+// Error is a front-end error with source position.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.File == "" {
+		return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}

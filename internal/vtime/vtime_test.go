@@ -1,0 +1,186 @@
+package vtime
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0fs"},
+		{1, "1fs"},
+		{PS, "1ps"},
+		{5 * NS, "5ns"},
+		{1500 * PS, "1500ps"},
+		{US, "1us"},
+		{MS, "1ms"},
+		{2 * S, "2sec"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestLexicographicOrder(t *testing.T) {
+	cases := []struct {
+		a, b VT
+		less bool
+	}{
+		{VT{0, 0}, VT{0, 0}, false},
+		{VT{0, 0}, VT{0, 1}, true},
+		{VT{0, 5}, VT{1, 0}, true},
+		{VT{1, 0}, VT{0, 99}, false},
+		{VT{7, 3}, VT{7, 3}, false},
+		{VT{7, 2}, VT{7, 3}, true},
+		{Zero, Inf, true},
+		{Inf, Inf, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.less {
+			t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+		}
+	}
+}
+
+func TestCmpConsistency(t *testing.T) {
+	f := func(ap, al, bp, bl uint16) bool {
+		a := VT{Time(ap), uint64(al)}
+		b := VT{Time(bp), uint64(bl)}
+		c := a.Cmp(b)
+		switch {
+		case a.Less(b):
+			return c == -1 && b.Cmp(a) == 1 && a.LessEq(b) && !b.LessEq(a)
+		case b.Less(a):
+			return c == 1 && b.Cmp(a) == -1 && b.LessEq(a) && !a.LessEq(b)
+		default:
+			return c == 0 && a == b && a.LessEq(b) && b.LessEq(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderIsTotalAndTransitive(t *testing.T) {
+	// Sorting with Less and checking pairwise order verifies
+	// totality/transitivity on a random sample.
+	rng := rand.New(rand.NewSource(1))
+	vts := make([]VT, 200)
+	for i := range vts {
+		vts[i] = VT{Time(rng.Intn(8)), uint64(rng.Intn(8))}
+	}
+	sort.Slice(vts, func(i, j int) bool { return vts[i].Less(vts[j]) })
+	for i := 1; i < len(vts); i++ {
+		if vts[i].Less(vts[i-1]) {
+			t.Fatalf("not totally ordered at %d: %v after %v", i, vts[i-1], vts[i])
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	a, b := VT{1, 9}, VT{2, 0}
+	if Min(a, b) != a || Min(b, a) != a {
+		t.Errorf("Min(%v,%v) wrong", a, b)
+	}
+	if Max(a, b) != b || Max(b, a) != b {
+		t.Errorf("Max(%v,%v) wrong", a, b)
+	}
+	if Min(a, a) != a || Max(a, a) != a {
+		t.Error("Min/Max not idempotent")
+	}
+}
+
+func TestMinMaxProperty(t *testing.T) {
+	f := func(ap, al, bp, bl uint16) bool {
+		a := VT{Time(ap), uint64(al)}
+		b := VT{Time(bp), uint64(bl)}
+		mn, mx := Min(a, b), Max(a, b)
+		return mn.LessEq(mx) && mn.LessEq(a) && mn.LessEq(b) &&
+			a.LessEq(mx) && b.LessEq(mx) &&
+			(mn == a || mn == b) && (mx == a || mx == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaAndPhase(t *testing.T) {
+	cases := []struct {
+		lt    uint64
+		delta uint64
+		phase int
+	}{
+		{0, 0, PhaseRunAssign},
+		{1, 0, PhaseDrivingValue},
+		{2, 0, PhaseUpdate},
+		{3, 1, PhaseRunAssign},
+		{4, 1, PhaseDrivingValue},
+		{5, 1, PhaseUpdate},
+		{6, 2, PhaseRunAssign},
+	}
+	for _, c := range cases {
+		v := VT{10, c.lt}
+		if v.Delta() != c.delta || v.Phase() != c.phase {
+			t.Errorf("VT{10,%d}: delta=%d phase=%d, want %d/%d",
+				c.lt, v.Delta(), v.Phase(), c.delta, c.phase)
+		}
+	}
+}
+
+func TestAfterDelay(t *testing.T) {
+	now := VT{PT: 100 * NS, LT: 6} // Run/Assign phase of delta 2
+	if got := now.AfterDelay(0); got != (VT{100 * NS, 7}) {
+		t.Errorf("zero delay: got %v", got)
+	}
+	if got := now.AfterDelay(5 * NS); got != (VT{105 * NS, 1}) {
+		t.Errorf("5ns delay: got %v", got)
+	}
+	// A delayed transaction must always land in a Driving Value phase.
+	if got := now.AfterDelay(5 * NS); got.Phase() != PhaseDrivingValue {
+		t.Errorf("delayed transaction landed in phase %d", got.Phase())
+	}
+}
+
+func TestAfterTimeout(t *testing.T) {
+	now := VT{PT: 100 * NS, LT: 6}
+	if got := now.AfterTimeout(0); got != (VT{100 * NS, 9}) {
+		t.Errorf("wait for 0: got %v", got)
+	}
+	if got := now.AfterTimeout(3 * NS); got != (VT{103 * NS, 3}) {
+		t.Errorf("wait for 3ns: got %v", got)
+	}
+	if got := now.AfterTimeout(3 * NS); got.Phase() != PhaseRunAssign {
+		t.Errorf("timeout landed in phase %d, want run/assign", got.Phase())
+	}
+}
+
+func TestSchedulingAlwaysAdvances(t *testing.T) {
+	// Property from the paper's cycle: every scheduled event is strictly
+	// after the scheduling time, so the distributed cycle makes progress.
+	f := func(pt uint16, lt uint8, d uint16) bool {
+		now := VT{Time(pt), uint64(lt)}
+		return now.Less(now.AfterDelay(Time(d))) &&
+			now.Less(now.AfterTimeout(Time(d))) &&
+			now.Less(now.NextPhase())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTString(t *testing.T) {
+	v := VT{PT: 10 * NS, LT: 7}
+	if got := v.String(); got != "10ns+2Δ.1" {
+		t.Errorf("String() = %q", got)
+	}
+	if Inf.String() != "+inf" {
+		t.Errorf("Inf.String() = %q", Inf.String())
+	}
+}

@@ -1,0 +1,43 @@
+-- Binary counter with Gray-code output and an assertion monitor: the Gray
+-- output must change exactly one bit per clock cycle.
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity gray is end entity;
+
+architecture sim of gray is
+  signal clk  : std_logic := '0';
+  signal bin  : std_logic_vector(3 downto 0) := "0000";
+  signal code : std_logic_vector(3 downto 0) := "0000";
+begin
+  clkgen : process
+  begin
+    wait for 5 ns;
+    clk <= not clk;
+  end process;
+
+  count : process (clk)
+  begin
+    if rising_edge(clk) then
+      bin <= bin + 1;
+    end if;
+  end process;
+
+  encode : code <= bin xor (bin srl 1);
+
+  monitor : process (code)
+    variable prev : std_logic_vector(3 downto 0) := "0000";
+    variable diff : std_logic_vector(3 downto 0);
+    variable ones : integer;
+  begin
+    diff := code xor prev;
+    ones := 0;
+    for i in 3 downto 0 loop
+      if diff(i) = '1' then
+        ones := ones + 1;
+      end if;
+    end loop;
+    assert ones <= 1 report "gray code changed more than one bit" severity error;
+    prev := code;
+  end process;
+end architecture;
