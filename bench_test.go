@@ -16,6 +16,7 @@ import (
 	"govhdl/internal/circuits"
 	"govhdl/internal/figures"
 	"govhdl/internal/pdes"
+	"govhdl/internal/stats"
 	"govhdl/internal/vtime"
 )
 
@@ -165,6 +166,62 @@ func BenchmarkAblationThrottle(b *testing.B) {
 				Protocol: pdes.ProtoOptimistic, Workers: 8,
 				ThrottleWindow: mult * probe.ClockHalf,
 			})
+		})
+	}
+}
+
+// wallClockBench measures real host performance of one verified run per
+// iteration: ns/event and allocs/event, the numbers BENCH_wallclock.json
+// tracks across PRs (speedupBench above reports the modeled makespan instead).
+func wallClockBench(b *testing.B, circuit string, cfgName string, cfg pdes.Config, workers int) {
+	b.Helper()
+	var byName func(figures.Scale) (func() *circuits.Circuit, vtime.Time)
+	for _, wc := range figures.WallClockCircuits() {
+		if wc.Name == circuit {
+			byName = wc.Circuit
+		}
+	}
+	if byName == nil {
+		b.Fatalf("unknown wall-clock circuit %q", circuit)
+	}
+	build, until := byName(figures.ScaleSmoke)
+	var last stats.WallClockPoint
+	for i := 0; i < b.N; i++ {
+		p, err := figures.MeasureWallClock(build, until, circuit, cfgName, cfg, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = p
+	}
+	b.ReportMetric(last.NsPerEvent, "ns/event")
+	b.ReportMetric(last.AllocsPerEvent, "allocs/event")
+	b.ReportMetric(last.BytesPerEvent, "B/event")
+	b.ReportMetric(float64(last.Events), "events/op")
+}
+
+// BenchmarkWallClockFSM measures the FSM ensemble under every protocol,
+// including the acceptance-gate cell: mixed protocol at smoke scale.
+func BenchmarkWallClockFSM(b *testing.B) {
+	for _, cs := range figures.WallClockConfigs() {
+		workers := 4
+		if cs.Cfg.Protocol == pdes.ProtoSequential {
+			workers = 1
+		}
+		b.Run(cs.Name, func(b *testing.B) {
+			wallClockBench(b, "FSM", cs.Name, cs.Cfg, workers)
+		})
+	}
+}
+
+// BenchmarkWallClockIIR measures the gate-level IIR filter.
+func BenchmarkWallClockIIR(b *testing.B) {
+	for _, cs := range figures.WallClockConfigs() {
+		workers := 4
+		if cs.Cfg.Protocol == pdes.ProtoSequential {
+			workers = 1
+		}
+		b.Run(cs.Name, func(b *testing.B) {
+			wallClockBench(b, "IIR", cs.Name, cs.Cfg, workers)
 		})
 	}
 }

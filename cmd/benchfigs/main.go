@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,17 +26,34 @@ func main() {
 		fig       = flag.Int("fig", 0, "regenerate one figure (4, 6, 8 or 10); 0 = all")
 		scaleStr  = flag.String("scale", "paper", "paper or smoke")
 		ablations = flag.Bool("ablations", false, "run the ablation sweeps instead of the paper figures")
+		wallclock = flag.Bool("wallclock", false, "run the wall-clock + allocation benchmark suite instead of the paper figures")
+		wcOut     = flag.String("o", "BENCH_wallclock.json", "wall-clock mode: output JSON path")
+		wcWorkers = flag.Int("workers", 4, "wall-clock mode: parallel worker count")
+		wcReps    = flag.Int("reps", 3, "wall-clock mode: repetitions per cell (fastest kept)")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
 
 	scale := figures.ScalePaper
-	if *scaleStr == "smoke" {
+	switch *scaleStr {
+	case "paper":
+	case "smoke":
 		scale = figures.ScaleSmoke
+	default:
+		fmt.Fprintf(os.Stderr, "benchfigs: unknown -scale %q (use paper or smoke)\n", *scaleStr)
+		os.Exit(2)
 	}
 	var progress io.Writer = os.Stdout
 	if *quiet {
 		progress = nil
+	}
+
+	if *wallclock {
+		if err := runWallClock(scale, *wcWorkers, *wcReps, *wcOut, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchfigs:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *ablations {
@@ -63,6 +81,49 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// wallClockFile is the on-disk shape of BENCH_wallclock.json: the baseline
+// recorded before the zero-allocation work, and the current measurement.
+// Re-running -wallclock preserves an existing baseline and replaces current,
+// so the file tracks the perf trajectory across PRs.
+type wallClockFile struct {
+	Baseline *stats.WallClockReport `json:"baseline,omitempty"`
+	Current  *stats.WallClockReport `json:"current,omitempty"`
+}
+
+// runWallClock measures the wall-clock suite and merges the result into the
+// JSON trajectory file at path.
+func runWallClock(scale figures.Scale, workers, reps int, path string, progress io.Writer) error {
+	rep, err := figures.WallClockSuite(scale, workers, reps, progress)
+	if err != nil {
+		return err
+	}
+	var file wallClockFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("wallclock: existing %s is not valid JSON: %w", path, err)
+		}
+	}
+	if file.Baseline == nil {
+		file.Baseline = rep
+	}
+	file.Current = rep
+	out, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	if base := file.Baseline.Find("FSM", "mixed"); base != nil {
+		if cur := rep.Find("FSM", "mixed"); cur != nil && base.AllocsPerEvent > 0 {
+			fmt.Fprintf(os.Stdout, "# FSM/mixed allocs/event: baseline %.2f -> current %.2f (%.0f%%)\n",
+				base.AllocsPerEvent, cur.AllocsPerEvent, 100*cur.AllocsPerEvent/base.AllocsPerEvent)
+		}
+	}
+	fmt.Fprintf(os.Stdout, "# wrote %s\n", path)
+	return nil
 }
 
 // runAblations sweeps the engine design choices called out in DESIGN.md.

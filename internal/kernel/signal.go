@@ -56,13 +56,23 @@ type SigChange struct {
 type signalLP struct {
 	sig   *Signal
 	state *signalState
+	// ver counts state mutations for pdes.VersionedModel. It lives on the LP
+	// wrapper, not in signalState, so rollback cannot rewind it into a value
+	// that would falsely match a stale snapshot.
+	ver uint64
 }
 
 var _ pdes.Model = (*signalLP)(nil)
+var _ pdes.VersionedModel = (*signalLP)(nil)
 
 func (s *signalLP) SaveState() any { return s.state.clone() }
 
-func (s *signalLP) RestoreState(st any) { s.state = st.(*signalState).clone() }
+func (s *signalLP) RestoreState(st any) {
+	s.ver++
+	s.state = st.(*signalState).clone()
+}
+
+func (s *signalLP) StateVersion() uint64 { return s.ver }
 
 func (s *signalLP) Execute(ctx *pdes.Ctx, ev *pdes.Event) {
 	switch ev.Kind {
@@ -81,6 +91,7 @@ func (s *signalLP) Execute(ctx *pdes.Ctx, ev *pdes.Event) {
 // edits to the projected output waveform and schedule a Driving Value event
 // for every new transaction.
 func (s *signalLP) assign(ctx *pdes.Ctx, m *assignMsg) {
+	s.ver++ // waveform edits below mutate the saved state
 	d := &s.state.drivers[m.Driver]
 	now := ctx.Now()
 	for _, e := range m.Edits {
@@ -177,8 +188,9 @@ func (s *signalLP) drivingValue(ctx *pdes.Ctx) {
 		}
 	}
 	if !changed {
-		return // superseded transaction; spurious maturity event
+		return // superseded transaction; spurious maturity event — state untouched
 	}
+	s.ver++
 	if s.sig.resolution != nil {
 		ctx.Schedule(now.NextPhase(), evResolve, nil)
 		return
@@ -205,6 +217,7 @@ func (s *signalLP) publish(ctx *pdes.Ctx, v Value, ts vtime.VT) {
 	if ValueEqual(s.state.effective, v) {
 		return
 	}
+	s.ver++
 	s.state.effective = CloneValue(v)
 	ctx.Record(SigChange{Value: CloneValue(v)})
 	for _, r := range s.sig.readers {

@@ -25,6 +25,13 @@ type controller struct {
 	rounds        uint64
 	prevGVT       vtime.VT
 	prevProcessed uint64
+
+	// Per-round scratch and message pool: the round protocol gives the
+	// controller exclusive use of these between a broadcast and the last
+	// reply, so they are reused instead of reallocated every round.
+	acks   []*Msg
+	expect []uint64
+	msgs   msgPool
 }
 
 func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, metrics *stats.Metrics) *controller {
@@ -35,6 +42,8 @@ func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, met
 		workers: ep.N() - 1,
 		metrics: metrics,
 		modes:   modes,
+		acks:    make([]*Msg, ep.N()),
+		expect:  make([]uint64, ep.N()),
 	}
 }
 
@@ -52,6 +61,7 @@ func (c *controller) run() {
 				ready[m.From] = true
 				n++
 			}
+			c.msgs.put(m)
 		}
 	}
 
@@ -74,11 +84,13 @@ func (c *controller) run() {
 			if m.Kind != msgIdle {
 				continue
 			}
-			if m.Request {
+			req, isIdle, from := m.Request, m.Idle, m.From
+			c.msgs.put(m)
+			if req {
 				break
 			}
-			if m.Idle && !idle[m.From] {
-				idle[m.From] = true
+			if isIdle && !idle[from] {
+				idle[from] = true
 				idleCount++
 			}
 			if idleCount == c.workers {
@@ -95,10 +107,12 @@ func (c *controller) run() {
 func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	c.metrics.GVTRounds.Add(1)
 	for w := 1; w <= c.workers; w++ {
-		c.ep.Send(w, &Msg{Kind: msgGVTPause})
+		m := c.msgs.get()
+		m.Kind = msgGVTPause
+		c.ep.Send(w, m)
 	}
 
-	acks := make([]*Msg, c.workers+1)
+	acks := c.acks
 	for n := 0; n < c.workers; {
 		m := c.ep.Recv()
 		switch m.Kind {
@@ -110,12 +124,16 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 				acks[m.From] = m
 				n++
 			}
+		case msgIdle:
+			c.msgs.put(m) // stale trigger, dropped
 		}
-		// msgIdle and other stale triggers are dropped.
 	}
 
 	var totalProcessed uint64
-	expect := make([]uint64, c.workers+1)
+	expect := c.expect
+	for i := range expect {
+		expect[i] = 0
+	}
 	var consLPs, optLPs []LPID
 	for w := 1; w <= c.workers; w++ {
 		a := acks[w]
@@ -143,8 +161,17 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		}
 	}
 
+	// The acks (and the worker-owned Sent scratch they reference) are fully
+	// consumed; recycle them before unblocking anyone.
 	for w := 1; w <= c.workers; w++ {
-		c.ep.Send(w, &Msg{Kind: msgGVTDrain, Expect: expect[w]})
+		c.msgs.put(acks[w])
+		acks[w] = nil
+	}
+
+	for w := 1; w <= c.workers; w++ {
+		m := c.msgs.get()
+		m.Kind, m.Expect = msgGVTDrain, expect[w]
+		c.ep.Send(w, m)
 	}
 
 	gvt := vtime.Inf
@@ -163,6 +190,9 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 				barrier = m.Clock
 			}
 			n++
+			c.msgs.put(m)
+		case msgIdle:
+			c.msgs.put(m)
 		}
 	}
 
@@ -183,14 +213,17 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	c.prevGVT, c.prevProcessed = gvt, totalProcessed
 
 	for w := 1; w <= c.workers; w++ {
-		c.ep.Send(w, &Msg{
-			Kind:    msgGVTNew,
-			GVT:     gvt,
-			Clock:   barrier,
-			ConsLPs: consLPs,
-			OptLPs:  optLPs,
-			Done:    isDone,
-		})
+		// The ConsLPs/OptLPs backing arrays are shared across the broadcast;
+		// receivers only read them and recycling a Msg drops the slice
+		// header without touching the array.
+		m := c.msgs.get()
+		m.Kind = msgGVTNew
+		m.GVT = gvt
+		m.Clock = barrier
+		m.ConsLPs = consLPs
+		m.OptLPs = optLPs
+		m.Done = isDone
+		c.ep.Send(w, m)
 	}
 	if isDone {
 		c.finalClock = barrier + c.cfg.Costs.GVTCost

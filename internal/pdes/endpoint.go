@@ -15,6 +15,11 @@ type Endpoint interface {
 	// Send delivers m to endpoint dst. It must not block indefinitely
 	// (unbounded buffering is acceptable).
 	Send(dst int, m *Msg)
+	// SendBatch delivers ms to endpoint dst in order, equivalent to calling
+	// Send for each element but paying the synchronization (or wire framing)
+	// cost once per batch. The implementation may retain the messages but
+	// not the slice itself; the caller may reuse the slice after the call.
+	SendBatch(dst int, ms []*Msg)
 	// Recv blocks until a message is available.
 	Recv() *Msg
 	// TryRecv returns a message if one is immediately available.
@@ -45,6 +50,16 @@ func (mb *mailbox) put(m *Msg) {
 	mb.cond.Signal()
 }
 
+// putAll appends a batch under one lock acquisition. A single Signal
+// suffices: the mailbox has one consumer, and take only waits while the
+// queue is empty.
+func (mb *mailbox) putAll(ms []*Msg) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, ms...)
+	mb.mu.Unlock()
+	mb.cond.Signal()
+}
+
 func (mb *mailbox) take() *Msg {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
@@ -64,17 +79,27 @@ func (mb *mailbox) tryTake() (*Msg, bool) {
 }
 
 // pop removes the head; caller holds mu. The backing slice is compacted
-// once the head pointer passes half the queue to bound memory.
+// once the head pointer passes half the queue, and reallocated to a smaller
+// array when a drain leaves the capacity more than 4x the live count, so a
+// burst (e.g. a GVT drain after heavy optimism) does not pin its high-water
+// memory for the rest of the run.
 func (mb *mailbox) pop() *Msg {
 	m := mb.queue[mb.head]
 	mb.queue[mb.head] = nil
 	mb.head++
 	if mb.head > 64 && mb.head*2 >= len(mb.queue) {
-		n := copy(mb.queue, mb.queue[mb.head:])
-		for i := n; i < len(mb.queue); i++ {
-			mb.queue[i] = nil
+		live := len(mb.queue) - mb.head
+		if cap(mb.queue) > 64 && cap(mb.queue) > 4*live {
+			nq := make([]*Msg, live)
+			copy(nq, mb.queue[mb.head:])
+			mb.queue = nq
+		} else {
+			n := copy(mb.queue, mb.queue[mb.head:])
+			for i := n; i < len(mb.queue); i++ {
+				mb.queue[i] = nil
+			}
+			mb.queue = mb.queue[:n]
 		}
-		mb.queue = mb.queue[:n]
 		mb.head = 0
 	}
 	return m
@@ -110,6 +135,13 @@ func (e *localEndpoint) N() int    { return len(e.fabric.boxes) }
 func (e *localEndpoint) Send(dst int, m *Msg) {
 	m.From = e.self
 	e.fabric.boxes[dst].put(m)
+}
+
+func (e *localEndpoint) SendBatch(dst int, ms []*Msg) {
+	for _, m := range ms {
+		m.From = e.self
+	}
+	e.fabric.boxes[dst].putAll(ms)
 }
 
 func (e *localEndpoint) Recv() *Msg            { return e.fabric.boxes[e.self].take() }

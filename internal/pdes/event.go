@@ -8,7 +8,9 @@ import (
 
 // Event is one timestamped message between LPs. Events are immutable after
 // Send; the Data payload must not be mutated by sender or receiver (the
-// optimistic protocol may re-deliver it after a rollback).
+// optimistic protocol may re-deliver it after a rollback), and models must
+// not retain the *Event itself beyond Execute — the engine recycles event
+// objects once they can no longer roll back (see pool.go).
 type Event struct {
 	ID   uint64   // globally unique (worker index in the high bits)
 	Src  LPID     // sending LP
@@ -23,6 +25,24 @@ type Event struct {
 	// time; the receiver's clock advances to at least Clk before the event
 	// executes, modeling message latency in the virtual-processor model.
 	Clk float64
+
+	// freed marks the event as sitting in a free list; used by the pool's
+	// use-after-free checks (pool.go).
+	freed bool
+}
+
+// antiRec is the sender-side record of one emitted event, kept by value in
+// the optimistic history so a rollback can issue the matching anti-message.
+// Recording sends by value (rather than retaining the *Event) is what gives
+// the receiver exclusive ownership of the event object and makes recycling
+// safe: the positive copy can be fossil-collected by its receiver while the
+// sender still holds everything an anti-message needs.
+type antiRec struct {
+	id   uint64
+	src  LPID
+	dst  LPID
+	ts   vtime.VT
+	kind uint8
 }
 
 // SameButSign reports whether e and o are a positive/negative pair.

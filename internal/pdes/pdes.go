@@ -197,6 +197,13 @@ func (c *Config) fillDefaults() {
 
 // Validate reports configurations that cannot run correctly.
 func (c *Config) Validate() error {
+	// vtime.Time is unsigned, so a negative window written by the caller
+	// arrives here as a huge value. Anything strictly above half the range
+	// can only be a cast negative (the ablations use exactly half the range
+	// as "practically unbounded").
+	if c.ThrottleWindow > ^vtime.Time(0)/2 {
+		return fmt.Errorf("pdes: ThrottleWindow %d overflows (was a negative value cast to vtime.Time?); use 0 to disable throttling", c.ThrottleWindow)
+	}
 	if c.Ordering == OrderUserConsistent {
 		switch c.Protocol {
 		case ProtoConservative:

@@ -30,6 +30,9 @@ func TestPropertyProtocolsAgree(t *testing.T) {
 		seeds := int(p.Seeds%3) + 1
 		x0 := int(p.X0%20) + 8
 		workers := int(p.Workers%5) + 1
+		if workers > n {
+			workers = n // Run rejects workers that would own nothing
+		}
 		protos := []Protocol{ProtoConservative, ProtoOptimistic, ProtoMixed, ProtoDynamic}
 		proto := protos[int(p.Proto)%len(protos)]
 		ckpt := int(p.Ckpt%4) + 1
@@ -91,19 +94,49 @@ func TestPartitionsAgree(t *testing.T) {
 	}
 }
 
-// TestManyWorkersFewLPs: more workers than LPs must still be correct (some
-// workers own nothing).
+// TestManyWorkersFewLPs: more workers than LPs must still be correct at the
+// protocol level (some workers own nothing). Run rejects the configuration
+// as wasteful, so this exercises the internal entry point directly.
 func TestManyWorkersFewLPs(t *testing.T) {
 	want, _ := runOracle(t, 3, 1, 12)
 	sys := buildRelayRingT(t, 3, 1, 12)
 	sink := &collector{}
-	if _, err := Run(sys, Config{Workers: 8, Protocol: ProtoOptimistic, GVTEvery: 64},
+	if _, err := runParallel(sys, Config{Workers: 8, Protocol: ProtoOptimistic, GVTEvery: 64},
 		relayHorizon, sink); err != nil {
 		t.Fatal(err)
 	}
 	got := sink.sorted()
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Errorf("trace mismatch with idle workers: %d vs %d", len(got), len(want))
+	}
+}
+
+// TestRunRejectsExcessWorkers: the public entry point refuses a worker count
+// above the LP count with an explanatory error.
+func TestRunRejectsExcessWorkers(t *testing.T) {
+	sys := buildRelayRingT(t, 3, 1, 12)
+	_, err := Run(sys, Config{Workers: 8, Protocol: ProtoOptimistic}, relayHorizon, nil)
+	if err == nil || !strings.Contains(err.Error(), "exceeds the number of LPs") {
+		t.Fatalf("want excess-workers rejection, got %v", err)
+	}
+}
+
+// TestValidateRejectsOverflowedThrottle: a negative throttle window cast into
+// the unsigned vtime.Time must be rejected rather than silently acting as a
+// near-infinite bound.
+func TestValidateRejectsOverflowedThrottle(t *testing.T) {
+	sys := buildRelayRingT(t, 3, 1, 12)
+	cfg := Config{Workers: 2, Protocol: ProtoOptimistic}
+	cfg.ThrottleWindow = ^cfg.ThrottleWindow // i.e. vtime.Time(-1)
+	_, err := Run(sys, cfg, relayHorizon, nil)
+	if err == nil || !strings.Contains(err.Error(), "ThrottleWindow") {
+		t.Fatalf("want ThrottleWindow rejection, got %v", err)
+	}
+	// The ablations' "practically unbounded" value of half the range stays
+	// legal.
+	cfg.ThrottleWindow = 1<<63 - 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("half-range window must validate, got %v", err)
 	}
 }
 
@@ -114,7 +147,7 @@ func TestEmptySystem(t *testing.T) {
 		sys := NewSystem()
 		m := &relay{} // no seeds: Init schedules nothing
 		sys.AddLP("idle", m)
-		res, err := Run(sys, Config{Workers: 2, Protocol: proto, GVTEvery: 64}, relayHorizon, nil)
+		res, err := runParallel(sys, Config{Workers: 2, Protocol: proto, GVTEvery: 64}, relayHorizon, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", proto, err)
 		}

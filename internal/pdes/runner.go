@@ -19,6 +19,9 @@ func Run(sys *System, cfg Config, until vtime.Time, sink TraceSink) (*Result, er
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Protocol != ProtoSequential && cfg.Workers > sys.NumLPs() {
+		return nil, fmt.Errorf("pdes: Config.Workers (%d) exceeds the number of LPs (%d): the extra workers would own nothing and only add synchronization cost", cfg.Workers, sys.NumLPs())
+	}
 	return runParallel(sys, cfg, until, sink)
 }
 

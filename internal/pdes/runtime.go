@@ -2,12 +2,17 @@ package pdes
 
 import "govhdl/internal/vtime"
 
-// procRec is one processed event in an optimistic LP's history.
+// procRec is one processed event in an optimistic LP's history. Sends are
+// recorded by value (antiRec) rather than by pointer so the receiving worker
+// exclusively owns the emitted Event objects and can recycle them (pool.go).
+// The state snapshot may be shared between consecutive records (and with
+// lpRT.lastSnap) when the model reports an unchanged StateVersion; snapshots
+// are contractually immutable, so sharing is safe.
 type procRec struct {
 	ev    *Event
-	state any      // model snapshot taken before executing ev; nil between checkpoints
-	sends []*Event // events emitted while executing ev (for anti-messages)
-	recs  []any    // trace records emitted while executing ev
+	state any       // model snapshot taken before executing ev; nil between checkpoints
+	sends []antiRec // events emitted while executing ev (for anti-messages)
+	recs  []any     // trace records emitted while executing ev
 }
 
 // edgeIn is the receiver-side state of one static input edge.
@@ -33,6 +38,14 @@ type lpRT struct {
 	sinceCkpt int  // executions since the last state snapshot
 	queued    bool // present in the worker scheduling heap
 
+	// Snapshot sharing (copy-on-write state saving): when the model reports
+	// a StateVersion, the engine reuses lastSnap for every checkpoint taken
+	// while the version is unchanged instead of deep-copying identical
+	// state. Invalidated on rollback (RestoreState mutates the model).
+	versioned VersionedModel
+	lastSnap  any
+	lastVer   uint64
+
 	lastPromise []vtime.VT // per out-edge (parallel to decl.out): last null promise
 
 	// Adaptation window counters, reset at each GVT round.
@@ -51,6 +64,9 @@ func newLPRT(d *lpDecl, mode Mode) *lpRT {
 		model:  d.model,
 		mode:   mode,
 		edgeOf: make(map[LPID]int, len(d.in)),
+	}
+	if vm, ok := d.model.(VersionedModel); ok {
+		lp.versioned = vm
 	}
 	lp.edges = make([]edgeIn, len(d.in))
 	for i, src := range d.in {

@@ -42,11 +42,14 @@ func RunSequential(sys *System, until vtime.Time, sink TraceSink) (*Result, erro
 		metrics stats.Metrics
 		now     vtime.VT
 		cur     LPID
+		pool    eventPool
 	)
 
 	emit := func(dst LPID, ts vtime.VT, kind uint8, data any) {
 		nextID++
-		heap.Push(&Event{ID: nextID, Src: cur, Dst: dst, TS: ts, Kind: kind, Data: data})
+		e := pool.get()
+		e.ID, e.Src, e.Dst, e.TS, e.Kind, e.Data = nextID, cur, dst, ts, kind, data
+		heap.Push(e)
 	}
 	ctx := &Ctx{sys: sys, emit: emit}
 	if sink != nil {
@@ -73,6 +76,7 @@ func RunSequential(sys *System, until vtime.Time, sink TraceSink) (*Result, erro
 		cur, now = ev.Dst, ev.TS
 		ctx.self, ctx.now = cur, now
 		sys.lps[ev.Dst].model.Execute(ctx, ev)
+		pool.put(ev) // models must not retain events beyond Execute
 		processed++
 	}
 	metrics.Events.Store(processed)

@@ -26,6 +26,20 @@ type InitModel interface {
 	Init(ctx *Ctx)
 }
 
+// VersionedModel lets a model avoid redundant state saving under optimistic
+// simulation. StateVersion returns a counter that changes (typically
+// increments) whenever the state that SaveState captures may have changed;
+// it must never stay equal across a real mutation. While the version is
+// unchanged the engine reuses the previous snapshot instead of calling
+// SaveState again, which turns CheckpointEvery=1 from a deep copy per event
+// into a deep copy per state change — valuable for models whose Executes are
+// frequently no-ops (superseded transactions, stale wakes). Over-counting
+// (bumping without a real change) is safe, merely less effective.
+type VersionedModel interface {
+	Model
+	StateVersion() uint64
+}
+
 // ActiveFaninModel lets a model sharpen its null-message promise by naming
 // the inputs that can currently trigger an emission. The engine's default
 // promise takes the minimum guarantee over ALL input edges, which is overly

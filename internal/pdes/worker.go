@@ -113,6 +113,17 @@ type worker struct {
 	curRec   *procRec
 	suppress bool
 
+	// Zero-allocation hot path machinery (see pool.go for the ownership
+	// model): object pools for events and messages, per-destination send
+	// buffers coalescing remote messages between scheduling boundaries,
+	// and scratch slices reused across GVT rounds and history records.
+	evPool   eventPool
+	msgPool  msgPool
+	outBuf   [][]*Msg  // per-destination coalesced sends; empty while paused
+	ackSent  []uint64  // GVT ack scratch (controller reads it only mid-round)
+	recSends [][]antiRec
+	recRecs  [][]any
+
 	finalClock float64
 	stopped    bool
 }
@@ -139,6 +150,8 @@ func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
 		user:     cfg.Ordering == OrderUserConsistent,
 		cmp:      sys.cmp,
 		sentTo:   make([]uint64, ep.N()),
+		outBuf:   make([][]*Msg, ep.N()),
+		ackSent:  make([]uint64, ep.N()),
 	}
 	if w.cmp == nil {
 		w.cmp = func(a, b *Event) bool {
@@ -181,6 +194,7 @@ func (w *worker) run() {
 	}()
 
 	w.initLPs()
+	w.flushSends()
 	w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true})
 	const batch = 8
 	for {
@@ -200,15 +214,44 @@ func (w *worker) run() {
 			}
 			progressed = true
 		}
+		// Flush the coalesced sends at the scheduling boundary — always
+		// before blocking in Recv and before announcing idleness, so no
+		// message the accounting has counted can sit in a local buffer
+		// while its receiver (or the controller) waits for it.
+		w.flushSends()
 		if !progressed {
-			w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true, Processed: w.execTotal})
+			m := w.msgPool.get()
+			m.Kind, m.Idle, m.Processed = msgIdle, true, w.execTotal
+			w.ep.Send(0, m)
 			if w.handle(w.ep.Recv()) {
 				return
 			}
 		} else if !w.requested && w.execTotal-w.execAtRound >= uint64(w.cfg.GVTEvery) {
 			w.requested = true
-			w.ep.Send(0, &Msg{Kind: msgIdle, Request: true, Processed: w.execTotal})
+			m := w.msgPool.get()
+			m.Kind, m.Request, m.Processed = msgIdle, true, w.execTotal
+			w.ep.Send(0, m)
 		}
+	}
+}
+
+// flushSends drains every per-destination send buffer with one batched
+// mailbox operation per destination. Buffers are empty whenever the worker
+// is paused (sendMsg defers instead while a GVT round runs).
+func (w *worker) flushSends() {
+	for dst, buf := range w.outBuf {
+		if len(buf) == 0 {
+			continue
+		}
+		if len(buf) == 1 {
+			w.ep.Send(dst, buf[0])
+		} else {
+			w.ep.SendBatch(dst, buf)
+		}
+		for i := range buf {
+			buf[i] = nil
+		}
+		w.outBuf[dst] = buf[:0]
 	}
 }
 
@@ -232,18 +275,23 @@ func (w *worker) initLPs() {
 }
 
 // handle processes one control or data message in the normal loop. It
-// returns true when the worker should terminate.
+// returns true when the worker should terminate. Event and null messages are
+// recycled here: the receiving worker owns them once decoded.
 func (w *worker) handle(m *Msg) bool {
 	switch m.Kind {
 	case msgEvent:
 		w.recvd++
 		w.localQ = append(w.localQ, m.Ev)
+		w.msgPool.put(m)
 		w.drainLocal()
 	case msgNull:
 		w.recvd++
-		w.routeNull(m.Src, m.Dst, m.TS)
+		src, dst, ts := m.Src, m.Dst, m.TS
+		w.msgPool.put(m)
+		w.routeNull(src, dst, ts)
 		w.drainLocal()
 	case msgGVTPause:
+		w.msgPool.put(m)
 		return w.gvtParticipate()
 	case msgStop:
 		w.stopped = true
@@ -293,6 +341,7 @@ func (w *worker) step() bool {
 
 // execute runs one event at lp, snapshotting state first when optimistic.
 func (w *worker) execute(lp *lpRT, ev *Event) {
+	checkLive(ev, "execute")
 	if ev.TS.Less(lp.now) {
 		// Engine invariant: routing must have rolled back (optimistic) or
 		// failed (conservative) before a straggler could reach execution.
@@ -303,34 +352,71 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 		w.clock = ev.Clk
 	}
 	w.clock += w.cfg.Costs.EventCost
-	w.ctx.self, w.ctx.now = lp.decl.id, ev.TS
-	dbgID(w, "execute", ev, fmt.Sprintf("lp=%s mode=%v", w.sys.Name(lp.decl.id), lp.mode))
+	ts := ev.TS
+	w.ctx.self, w.ctx.now = lp.decl.id, ts
+	if debugTraceID != 0 {
+		dbgID(w, "execute", ev, fmt.Sprintf("lp=%s mode=%v", w.sys.Name(lp.decl.id), lp.mode))
+	}
 	if lp.mode == Optimistic {
 		rec := procRec{ev: ev}
+		if n := len(w.recSends) - 1; n >= 0 {
+			rec.sends = w.recSends[n]
+			w.recSends = w.recSends[:n]
+		}
+		if n := len(w.recRecs) - 1; n >= 0 {
+			rec.recs = w.recRecs[n]
+			w.recRecs = w.recRecs[:n]
+		}
 		if lp.sinceCkpt == 0 {
-			rec.state = lp.model.SaveState()
-			w.metrics.StateSaves.Add(1)
-			w.clock += w.cfg.Costs.StateSaveCost
+			rec.state = w.snapshot(lp)
 		}
 		lp.sinceCkpt++
 		if lp.sinceCkpt >= w.cfg.CheckpointEvery {
 			lp.sinceCkpt = 0
 		}
+		// Appending before Execute lets curRec point into the history
+		// slice instead of a heap-escaping local. Safe: only execute
+		// appends to lp.processed, Execute cannot re-enter it (local
+		// deliveries queue in localQ), so the element cannot move.
+		lp.processed = append(lp.processed, rec)
 		prev := w.curRec
-		w.curRec = &rec
+		w.curRec = &lp.processed[len(lp.processed)-1]
 		lp.model.Execute(w.ctx, ev)
-		lp.processed = append(lp.processed, *w.curRec)
 		w.curRec = prev
 	} else {
 		prev := w.curRec
 		w.curRec = nil
 		lp.model.Execute(w.ctx, ev)
 		w.curRec = prev
+		// A conservative execution can never roll back: the receiver's
+		// ownership of the event ends here and it goes back to the pool.
+		w.evPool.put(ev)
 	}
-	lp.now = ev.TS
+	lp.now = ts
 	lp.execs++
 	w.execTotal++
 	w.metrics.Events.Add(1)
+}
+
+// snapshot returns the model state to checkpoint, reusing the previous
+// snapshot when a VersionedModel reports its state unchanged since then.
+// Only real SaveState calls are counted and charged: a reused snapshot is
+// the whole point of copy-on-write state saving.
+func (w *worker) snapshot(lp *lpRT) any {
+	if lp.versioned != nil {
+		v := lp.versioned.StateVersion()
+		if lp.lastSnap != nil && v == lp.lastVer {
+			return lp.lastSnap
+		}
+		s := lp.model.SaveState()
+		lp.lastSnap, lp.lastVer = s, v
+		w.metrics.StateSaves.Add(1)
+		w.clock += w.cfg.Costs.StateSaveCost
+		return s
+	}
+	w.metrics.StateSaves.Add(1)
+	w.clock += w.cfg.Costs.StateSaveCost
+	return lp.model.SaveState()
 }
 
 // executeBatch pops every pending event with the minimal timestamp, orders
@@ -352,25 +438,27 @@ func (w *worker) executeBatch(lp *lpRT) {
 }
 
 // emit is Ctx's send hook: allocate an ID, remember the send for potential
-// cancellation, and deliver.
+// cancellation (by value — the receiver owns the Event object), and deliver.
 func (w *worker) emit(dst LPID, ts vtime.VT, kind uint8, data any) {
 	if w.suppress {
 		return // coast-forward re-execution: sends already made
 	}
 	w.seq++
-	e := &Event{
-		ID:   uint64(w.ep.Self())<<48 | w.seq,
-		Src:  w.ctx.self,
-		Dst:  dst,
-		TS:   ts,
-		Sent: w.ctx.now,
-		Kind: kind,
-		Data: data,
-	}
+	e := w.evPool.get()
+	e.ID = uint64(w.ep.Self())<<48 | w.seq
+	e.Src = w.ctx.self
+	e.Dst = dst
+	e.TS = ts
+	e.Sent = w.ctx.now
+	e.Kind = kind
+	e.Data = data
 	if w.curRec != nil {
-		w.curRec.sends = append(w.curRec.sends, e)
+		w.curRec.sends = append(w.curRec.sends,
+			antiRec{id: e.ID, src: e.Src, dst: dst, ts: ts, kind: kind})
 	}
-	dbgID(w, "emit", e, fmt.Sprintf("src=%d dst=%d", e.Src, e.Dst))
+	if debugTraceID != 0 {
+		dbgID(w, "emit", e, fmt.Sprintf("src=%d dst=%d", e.Src, e.Dst))
+	}
 	w.deliver(e)
 }
 
@@ -387,27 +475,62 @@ func (w *worker) deliver(e *Event) {
 	w.metrics.RemoteMsgs.Add(1)
 	w.clock += w.cfg.Costs.RemoteMsgCost
 	e.Clk = w.clock + w.cfg.Costs.RemoteLatency
-	w.sendMsg(o, &Msg{Kind: msgEvent, Ev: e})
+	m := w.msgPool.get()
+	m.Kind, m.Ev = msgEvent, e
+	w.sendMsg(o, m)
 }
 
-// sendMsg sends a counted (event/null) message to another worker, deferring
-// it while a GVT round is in progress so the round's message accounting
-// stays exact.
+// sendMsg sends a counted (event/null) message to another worker: deferred
+// while a GVT round is in progress so the round's message accounting stays
+// exact, otherwise coalesced into the destination's send buffer, which is
+// flushed at every scheduling boundary and before any blocking receive.
+// sentTo is counted at buffering time; the flush discipline (buffers always
+// empty before a GVT ack snapshot) keeps the count equal to what was sent.
 func (w *worker) sendMsg(dst int, m *Msg) {
-	dbgID(w, "sendMsg", m.Ev, fmt.Sprintf("dst=%d", dst))
+	if debugTraceID != 0 {
+		dbgID(w, "sendMsg", m.Ev, fmt.Sprintf("dst=%d", dst))
+	}
 	if w.paused {
 		w.deferred = append(w.deferred, deferredMsg{dst, m})
 		return
 	}
 	w.sentTo[dst]++
-	w.ep.Send(dst, m)
+	w.outBuf[dst] = append(w.outBuf[dst], m)
 }
 
-func (w *worker) sendAnti(e *Event) {
-	dbgID(w, "sendAnti", e, "")
+// sendAnti builds and delivers the anti-message for one recorded send. The
+// anti is a fresh pooled Event: the positive twin lives at (and is owned by)
+// the receiver.
+func (w *worker) sendAnti(r antiRec) {
 	w.metrics.Antis.Add(1)
 	w.clock += w.cfg.Costs.AntiCost
-	w.deliver(&Event{ID: e.ID, Src: e.Src, Dst: e.Dst, TS: e.TS, Kind: e.Kind, Neg: true})
+	e := w.evPool.get()
+	e.ID = r.id
+	e.Src = r.src
+	e.Dst = r.dst
+	e.TS = r.ts
+	e.Kind = r.kind
+	e.Neg = true
+	if debugTraceID != 0 {
+		dbgID(w, "sendAnti", e, "")
+	}
+	w.deliver(e)
+}
+
+// recycleRec returns a cleared history record's scratch slices to the worker
+// for reuse by future records. The caller zeroes the record itself.
+func (w *worker) recycleRec(rec *procRec) {
+	if rec.sends != nil && len(w.recSends) < poolLocalCap {
+		w.recSends = append(w.recSends, rec.sends[:0])
+	}
+	if rec.recs != nil {
+		for i := range rec.recs {
+			rec.recs[i] = nil
+		}
+		if len(w.recRecs) < poolLocalCap {
+			w.recRecs = append(w.recRecs, rec.recs[:0])
+		}
+	}
 }
 
 // recordItem is Ctx's trace hook.
@@ -449,6 +572,7 @@ func (w *worker) requeue(lp *lpRT) {
 // routeEvent inserts an incoming event at its destination LP, handling
 // channel clocks, anti-messages, stragglers and rollback.
 func (w *worker) routeEvent(e *Event) {
+	checkLive(e, "route")
 	dbgID(w, "route", e, "")
 	lp := w.lps[e.Dst]
 	if lp == nil {
@@ -466,6 +590,8 @@ func (w *worker) routeEvent(e *Event) {
 			if a.SameButSign(e) {
 				lp.orphans = append(lp.orphans[:i], lp.orphans[i+1:]...)
 				w.metrics.Annihilated.Add(1)
+				w.evPool.put(a)
+				w.evPool.put(e)
 				return
 			}
 		}
@@ -494,6 +620,8 @@ func (w *worker) annihilate(lp *lpRT, anti *Event) {
 	if pos := lp.pending.RemoveMatching(match); pos != nil {
 		w.metrics.Annihilated.Add(1)
 		dbgID(w, "annih-pending", anti, "")
+		w.evPool.put(pos)
+		w.evPool.put(anti)
 		w.requeue(lp)
 		return
 	}
@@ -506,7 +634,9 @@ func (w *worker) annihilate(lp *lpRT, anti *Event) {
 			w.rollbackTo(lp, k)
 			if pos := lp.pending.RemoveMatching(match); pos != nil {
 				w.metrics.Annihilated.Add(1)
+				w.evPool.put(pos)
 			}
+			w.evPool.put(anti)
 			return
 		}
 	}
@@ -535,6 +665,9 @@ func (w *worker) rollbackTo(lp *lpRT, i int) {
 		w.fatal("LP %s has no restore snapshot for rollback to index %d", w.sys.Name(lp.decl.id), i)
 	}
 	lp.model.RestoreState(lp.processed[j].state)
+	// The model's live state no longer matches the shared snapshot even if
+	// its version counter happens to repeat; force a real save next time.
+	lp.lastSnap = nil
 	if i > j {
 		// Coast-forward: replay committed-side events without re-sending.
 		savedSelf, savedNow := w.ctx.self, w.ctx.now
@@ -555,7 +688,9 @@ func (w *worker) rollbackTo(lp *lpRT, i int) {
 			w.sendAnti(s)
 		}
 		dbgID(w, "unprocess", rec.ev, "")
+		// The event returns to pending — still owned here, not freed.
 		lp.pending.Push(rec.ev)
+		w.recycleRec(rec)
 		lp.processed[k] = procRec{}
 	}
 	lp.processed = lp.processed[:i]
@@ -584,7 +719,9 @@ func (w *worker) sendNulls(lp *lpRT) {
 		if o == w.ep.Self() {
 			w.routeNull(lp.decl.id, dst, p)
 		} else {
-			w.sendMsg(o, &Msg{Kind: msgNull, Src: lp.decl.id, Dst: dst, TS: p})
+			m := w.msgPool.get()
+			m.Kind, m.Src, m.Dst, m.TS = msgNull, lp.decl.id, dst, p
+			w.sendMsg(o, m)
 		}
 	}
 }
@@ -610,18 +747,24 @@ func (w *worker) routeNull(src, dst LPID, ts vtime.VT) {
 
 // gvtParticipate runs the worker side of one stop-the-world GVT round.
 func (w *worker) gvtParticipate() (done bool) {
+	// Flush before snapshotting sentTo for the ack: the drain accounting
+	// assumes every counted message is already in its receiver's mailbox (or
+	// on the wire), not sitting in a local coalescing buffer.
+	w.flushSends()
 	w.paused = true
-	sent := make([]uint64, len(w.sentTo))
-	copy(sent, w.sentTo)
-	w.ep.Send(0, &Msg{
-		Kind:      msgGVTAck,
-		Sent:      sent,
-		Recvd:     w.recvd,
-		Clock:     w.clock,
-		Modes:     w.modeProposals(),
-		Processed: w.execTotal,
-		Nulls:     w.nullsSent,
-	})
+	// ackSent is per-round scratch: the controller reads Sent only while this
+	// worker is blocked in the round, so reusing the slice across rounds is
+	// safe and allocation-free.
+	copy(w.ackSent, w.sentTo)
+	ack := w.msgPool.get()
+	ack.Kind = msgGVTAck
+	ack.Sent = w.ackSent
+	ack.Recvd = w.recvd
+	ack.Clock = w.clock
+	ack.Modes = w.modeProposals()
+	ack.Processed = w.execTotal
+	ack.Nulls = w.nullsSent
+	w.ep.Send(0, ack)
 	var expect uint64
 	haveExpect, minSent := false, false
 	for {
@@ -629,7 +772,9 @@ func (w *worker) gvtParticipate() (done bool) {
 			if w.recvd > expect {
 				w.fatal("worker %d received %d messages, expected %d", w.ep.Self(), w.recvd, expect)
 			}
-			w.ep.Send(0, &Msg{Kind: msgGVTMin, Min: w.localMin(), Clock: w.clock})
+			mm := w.msgPool.get()
+			mm.Kind, mm.Min, mm.Clock = msgGVTMin, w.localMin(), w.clock
+			w.ep.Send(0, mm)
 			minSent = true
 		}
 		m := w.ep.Recv()
@@ -637,16 +782,22 @@ func (w *worker) gvtParticipate() (done bool) {
 		case msgEvent:
 			w.recvd++
 			w.localQ = append(w.localQ, m.Ev)
+			w.msgPool.put(m)
 			w.drainLocal()
 		case msgNull:
 			w.recvd++
-			w.routeNull(m.Src, m.Dst, m.TS)
+			src, dst, ts := m.Src, m.Dst, m.TS
+			w.msgPool.put(m)
+			w.routeNull(src, dst, ts)
 			w.drainLocal()
 		case msgGVTDrain:
 			expect = m.Expect
 			haveExpect = true
+			w.msgPool.put(m)
 		case msgGVTNew:
-			return w.applyGVTNew(m)
+			done = w.applyGVTNew(m)
+			w.msgPool.put(m)
+			return done
 		case msgStop:
 			w.stopped = true
 			return true
@@ -785,7 +936,9 @@ func (w *worker) switchToOpt(lp *lpRT) {
 }
 
 // commitHistory commits every retained record's trace output and clears the
-// history.
+// history, recycling the committed events (no anti-message can target a
+// committed record: anti timestamps are strictly above the GVT that
+// committed it).
 func (w *worker) commitHistory(lp *lpRT) {
 	for k := range lp.processed {
 		rec := &lp.processed[k]
@@ -795,6 +948,8 @@ func (w *worker) commitHistory(lp *lpRT) {
 				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
 			}
 		}
+		w.evPool.put(rec.ev)
+		w.recycleRec(rec)
 		lp.processed[k] = procRec{}
 	}
 	w.metrics.Fossils.Add(uint64(len(lp.processed)))
@@ -822,6 +977,8 @@ func (w *worker) fossil(lp *lpRT, done bool) {
 	if j <= 0 {
 		return
 	}
+	// Read the new floor before recycling the records that define it.
+	floor := lp.processed[j-1].ev.TS
 	for i := 0; i < j; i++ {
 		rec := &lp.processed[i]
 		dbgID(w, "fossilCommit", rec.ev, "")
@@ -830,12 +987,18 @@ func (w *worker) fossil(lp *lpRT, done bool) {
 				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
 			}
 		}
+		w.evPool.put(rec.ev)
+		w.recycleRec(rec)
 	}
-	lp.floor = lp.processed[j-1].ev.TS
+	lp.floor = floor
 	w.metrics.Fossils.Add(uint64(j))
-	rest := make([]procRec, len(lp.processed)-j)
-	copy(rest, lp.processed[j:])
-	lp.processed = rest
+	// Compact in place: the history tail keeps its backing array instead of
+	// reallocating at every fossil pass.
+	n := copy(lp.processed, lp.processed[j:])
+	for i := n; i < len(lp.processed); i++ {
+		lp.processed[i] = procRec{}
+	}
+	lp.processed = lp.processed[:n]
 }
 
 // modeProposals implements the self-adaptation heuristic of the dynamic

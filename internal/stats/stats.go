@@ -125,6 +125,45 @@ func (s Snapshot) String() string {
 		s.LocalMsgs, s.RemoteMsgs, s.GVTRounds, s.ModeSwitches, s.Efficiency())
 }
 
+// WallClockPoint is one wall-clock benchmark measurement: a complete verified
+// simulation run timed on the host, with heap-allocation counters sampled
+// around the run. Unlike the modeled makespan above, these numbers reflect the
+// real engine overhead (allocation, locking, message passing) on the machine
+// at hand.
+type WallClockPoint struct {
+	Circuit        string  `json:"circuit"`
+	Config         string  `json:"config"`
+	Workers        int     `json:"workers"`
+	Events         uint64  `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+	WallMs         float64 `json:"wall_ms"`
+}
+
+// WallClockReport is a full wall-clock benchmark sweep, serialized to
+// BENCH_wallclock.json so successive PRs can track the perf trajectory.
+type WallClockReport struct {
+	Scale      string           `json:"scale"`
+	Workers    int              `json:"workers"`
+	GoMaxProcs int              `json:"gomaxprocs"`
+	GoVersion  string           `json:"go_version"`
+	Points     []WallClockPoint `json:"points"`
+}
+
+// Find returns the point for (circuit, config), or nil.
+func (r *WallClockReport) Find(circuit, config string) *WallClockPoint {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Points {
+		if r.Points[i].Circuit == circuit && r.Points[i].Config == config {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
 // SpeedupRow is one point of a speedup curve.
 type SpeedupRow struct {
 	Workers  int

@@ -40,10 +40,13 @@ func RegisterGob() {
 
 var registerOnce sync.Once
 
-// wire is the on-the-wire envelope.
+// wire is the on-the-wire envelope: either one message (M) or a coalesced
+// batch (Batch) for the same destination, framed and encoded as a single
+// value so a batch pays the encoder and syscall cost once.
 type wire struct {
-	Dst int
-	M   *pdes.Msg
+	Dst   int
+	M     *pdes.Msg
+	Batch []*pdes.Msg
 }
 
 // hello announces a joining process's hosted endpoints.
@@ -92,6 +95,17 @@ func (e *endpoint) Send(dst int, m *pdes.Msg) {
 	e.node.route(&wire{Dst: dst, M: m})
 }
 
+func (e *endpoint) SendBatch(dst int, ms []*pdes.Msg) {
+	for _, m := range ms {
+		m.From = e.self
+	}
+	// The wire envelope may outlive this call (hub forwarding), so it gets
+	// its own copy of the batch; the caller is free to reuse ms.
+	batch := make([]*pdes.Msg, len(ms))
+	copy(batch, ms)
+	e.node.route(&wire{Dst: dst, Batch: batch})
+}
+
 func (e *endpoint) Recv() *pdes.Msg { return <-e.box }
 
 func (e *endpoint) TryRecv() (*pdes.Msg, bool) {
@@ -107,6 +121,12 @@ func (e *endpoint) TryRecv() (*pdes.Msg, bool) {
 // lives here, otherwise over the owning connection (the hub forwards).
 func (n *Node) route(w *wire) {
 	if ep, ok := n.eps[w.Dst]; ok {
+		if w.Batch != nil {
+			for _, m := range w.Batch {
+				ep.box <- m
+			}
+			return
+		}
 		ep.box <- w.M
 		return
 	}
