@@ -1,0 +1,108 @@
+// Command govhdlvet runs govhdl's custom invariant-enforcing static
+// analysis suite (internal/analysis) over the given package patterns:
+//
+//	go run ./cmd/govhdlvet ./...
+//	go run ./cmd/govhdlvet -run vtcompare,maprange ./internal/pdes
+//
+// Diagnostics print in vet format (file:line:col: message [analyzer]) so
+// editors can jump to them. Exit status: 0 when clean, 1 when any
+// diagnostic was reported, 2 on usage or load errors.
+//
+// The enforced invariants, their analyzers, and the suppression directives
+// (//govhdlvet:<directive> <justification>) are documented in DESIGN.md
+// ("Static analysis & enforced invariants") and in the internal/analysis
+// package docs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"govhdl/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("govhdlvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list = fs.Bool("list", false, "list the analyzers and exit")
+		only = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: govhdlvet [-list] [-run analyzers] packages...\n")
+		fmt.Fprintf(stderr, "packages: directories, import paths, or /... patterns (e.g. ./...)\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2 // flag package already printed the error and usage
+	}
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s (suppress: //govhdlvet:%s)\n", a.Name, a.Doc, a.Directive)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "govhdlvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "govhdlvet: no packages named")
+		fs.Usage()
+		return 2
+	}
+
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		fmt.Fprintln(stderr, "govhdlvet:", err)
+		return 2
+	}
+	paths, err := loader.Expand(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "govhdlvet:", err)
+		fs.Usage()
+		return 2
+	}
+
+	cfg := analysis.DefaultConfig()
+	wd, _ := os.Getwd()
+	var diags []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "govhdlvet:", err)
+			return 2
+		}
+		diags = append(diags, analysis.Run(pkg, analyzers, cfg)...)
+	}
+	analysis.SortDiagnostics(diags)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s [%s]\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The tests run with the package directory (cmd/govhdlvet) as the working
+// directory, so module import paths are the stable way to name packages.
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		exit int
+	}{
+		{"unknown flag", []string{"-nope", "./..."}, 2},
+		{"no packages", []string{}, 2},
+		{"bad pattern", []string{"govhdl/internal/no/such/pkg"}, 2},
+		{"unknown analyzer", []string{"-run", "bogus", "govhdl/internal/vtime"}, 2},
+		{"list", []string{"-list"}, 0},
+		{"clean package", []string{"govhdl/internal/vtime"}, 0},
+		{"fixture package", []string{"govhdl/internal/analysis/testdata/src/nondet_core"}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if got := run(c.args, &stdout, &stderr); got != c.exit {
+				t.Errorf("run(%q) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					c.args, got, c.exit, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestUsageOnBadInput(t *testing.T) {
+	for _, args := range [][]string{{}, {"./no/such/dir"}} {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != 2 {
+			t.Fatalf("run(%q) = %d, want 2", args, got)
+		}
+		if !strings.Contains(stderr.String(), "usage: govhdlvet") {
+			t.Errorf("run(%q) stderr lacks usage:\n%s", args, stderr.String())
+		}
+	}
+}
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-list) = %d, stderr:\n%s", got, stderr.String())
+	}
+	for _, name := range []string{"vtcompare", "nondeterminism", "maprange", "poolescape"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestDiagnosticFormat locks the vet-style file:line:col: message [analyzer]
+// output shape that editors and the CI log scraper rely on.
+func TestDiagnosticFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"govhdl/internal/analysis/testdata/src/maprange_core"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", got, stderr.String())
+	}
+	lineRE := regexp.MustCompile(`^.+\.go:\d+:\d+: .+ \[[a-z]+\]$`)
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("no diagnostics printed")
+	}
+	for _, l := range lines {
+		if !lineRE.MatchString(l) {
+			t.Errorf("diagnostic line not in vet format: %q", l)
+		}
+	}
+}
+
+// TestRunFilter checks -run restricts the suite: the nondet fixture is full
+// of nondeterminism findings, but none of them come from vtcompare.
+func TestRunFilter(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"-run", "vtcompare", "govhdl/internal/analysis/testdata/src/nondet_core"}, &stdout, &stderr)
+	if got != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s", got, stdout.String())
+	}
+	var both bytes.Buffer
+	if got := run([]string{"-run", "nondeterminism", "govhdl/internal/analysis/testdata/src/nondet_core"}, &both, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+}

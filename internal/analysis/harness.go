@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// Fixture expectation harness, in the style of go/analysis's analysistest:
+// fixture sources under testdata/src/<pkg>/ carry
+//
+//	// want `regexp` `regexp` ...
+//
+// comments (double-quoted strings work too) on the lines where diagnostics
+// are expected. CheckFixture loads the package, runs the analyzers, and
+// matches every diagnostic against an expectation on the same file and
+// line — each unmatched side of the comparison is a mismatch.
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var (
+	wantRE    = regexp.MustCompile(`^//\s*want\s+(.+)$`)
+	wantArgRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+// CheckFixture runs analyzers over the fixture package in dir and compares
+// the diagnostics with the `// want` expectations. It returns the
+// diagnostics and a list of human-readable mismatches, empty when the
+// fixture is satisfied exactly.
+func CheckFixture(l *Loader, analyzers []*Analyzer, cfg *Config, dir string) ([]Diagnostic, []string, error) {
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, a := range args {
+					raw := a[1]
+					if a[2] != "" || raw == "" {
+						unq, err := strconv.Unquote(`"` + a[2] + `"`)
+						if err != nil {
+							return nil, nil, fmt.Errorf("%s:%d: bad want string: %v", pos.Filename, pos.Line, err)
+						}
+						raw = unq
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	diags := Run(pkg, analyzers, cfg)
+	var problems []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want `%s`", w.file, w.line, w.raw))
+		}
+	}
+	return diags, problems, nil
+}

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path it was loaded as
+	Dir   string // directory holding its sources
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads packages of the enclosing module from source, without any
+// dependency on golang.org/x/tools. Local (module) imports are resolved
+// recursively from the module directory; everything else is resolved by the
+// standard library's source importer (the module has no external
+// dependencies, so every non-local import is stdlib).
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string // absolute module root directory
+	ModPath string // module path from go.mod
+
+	std   types.Importer
+	cache map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader locates the enclosing module starting from dir (or the working
+// directory when dir is empty).
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		cache:   make(map[string]*loadEntry),
+	}, nil
+}
+
+// dirFor maps a module import path to its source directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	return filepath.Join(l.ModRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModPath+"/")))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.ModRoot, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.ModPath)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Import implements types.Importer over the module + stdlib split.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at the given module import path
+// (non-test files only), caching the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.cache[path]; ok {
+		return e.pkg, e.err
+	}
+	// Reserve the slot to fail fast on import cycles instead of recursing.
+	l.cache[path] = &loadEntry{err: fmt.Errorf("import cycle through %s", path)}
+	pkg, err := l.load(path)
+	l.cache[path] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go source files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadDir loads the package in dir under its module-derived import path.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	path, err := l.pathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.Load(path)
+}
+
+// Expand resolves package patterns to module import paths. Supported
+// patterns: relative or absolute directories ("./internal/pdes"), module
+// import paths ("govhdl/internal/pdes"), and recursive variants of either
+// ending in "/...". As with the go tool, testdata directories are skipped
+// by "..." expansion unless the pattern root is itself inside one.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		root := pat
+		if root == "..." {
+			root, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(root, "/..."); ok {
+			root, recursive = rest, true
+		}
+		var dir string
+		if root == l.ModPath || strings.HasPrefix(root, l.ModPath+"/") {
+			dir = l.dirFor(root)
+		} else {
+			dir = root
+			if !filepath.IsAbs(dir) {
+				dir = filepath.Join(".", dir)
+			}
+		}
+		if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("pattern %q: no such directory %s", pat, dir)
+		}
+		if !recursive {
+			p, err := l.pathFor(dir)
+			if err != nil {
+				return nil, fmt.Errorf("pattern %q: %v", pat, err)
+			}
+			if !hasGoFiles(dir) {
+				return nil, fmt.Errorf("pattern %q: no Go files in %s", pat, dir)
+			}
+			add(p)
+			continue
+		}
+		before := len(paths)
+		insideTestdata := strings.Contains(filepath.ToSlash(dir)+"/", "/testdata/")
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(p)
+			if p != dir && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+				return filepath.SkipDir
+			}
+			if base == "testdata" && !insideTestdata {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				ip, err := l.pathFor(p)
+				if err != nil {
+					return err
+				}
+				add(ip)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %v", pat, err)
+		}
+		if len(paths) == before {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return paths, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}

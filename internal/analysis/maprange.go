@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange bans unordered map iteration in the deterministic core. Go
+// randomizes map iteration order per range statement, so any map range whose
+// effects can reach event timestamps, message emission order, trace records,
+// or LP numbering makes two runs (or two replicas of a distributed run)
+// diverge. Inside the core packages every `range someMap` must either
+// iterate a pre-sorted key slice instead, or carry a
+//
+//	//govhdlvet:ordered <why order cannot leak>
+//
+// justification on the statement (or the line above) when the iteration
+// order provably cannot escape (e.g. building another map, or folding with
+// a commutative operation).
+var MapRange = &Analyzer{
+	Name:      "maprange",
+	Doc:       "no unordered map iteration in the deterministic core",
+	Directive: "ordered",
+	Run:       runMapRange,
+}
+
+func runMapRange(pass *Pass) {
+	if !pass.Config.IsCore(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.For,
+					"range over map %s in deterministic core package %s; iterate sorted keys or justify with //govhdlvet:ordered",
+					types.ExprString(rs.X), pass.Path)
+			}
+			return true
+		})
+	}
+}

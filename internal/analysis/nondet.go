@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// Nondeterminism keeps the deterministic core deterministic: the optimistic
+// engine's rollback/replay (coast-forward re-execution) and the committed
+// trace's bit-identity with the sequential oracle both assume that event
+// execution depends only on LP state and event content. Inside the core
+// packages this analyzer flags:
+//
+//   - wall-clock reads and timers (time.Now, time.Since, time.Sleep,
+//     time.After, ...): replaying an event must not observe a different
+//     clock than the original execution;
+//   - any import of math/rand or math/rand/v2: unseeded (or per-process
+//     seeded) randomness diverges across replicas of a distributed run;
+//   - select statements with a default clause: polling races make control
+//     flow depend on scheduler timing.
+//
+// The timing shims that measure a run from outside the event loop
+// (Config.NondetAllowFiles, e.g. runner.go and seq.go stamping Result.Wall)
+// are allowlisted by filename.
+var Nondeterminism = &Analyzer{
+	Name:      "nondeterminism",
+	Doc:       "no wall-clock reads, math/rand, or select-default races in the deterministic core",
+	Directive: "nondet",
+	Run:       runNondeterminism,
+}
+
+// nondetTimeFuncs are the package time functions that observe or depend on
+// the wall clock. Conversions and constants (time.Duration, time.Nanosecond)
+// stay legal.
+var nondetTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !pass.Config.IsCore(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		file := pass.Fset.Position(f.Pos()).Filename
+		if contains(pass.Config.NondetAllowFiles, filepath.Base(file)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				if path, err := strconv.Unquote(n.Path.Value); err == nil {
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(n.Pos(),
+							"import of %s in deterministic core package %s", path, pass.Path)
+					}
+				}
+			case *ast.SelectorExpr:
+				if pkg := importedPkgName(pass, n.X); pkg != nil &&
+					pkg.Imported().Path() == "time" && nondetTimeFuncs[n.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"wall-clock time.%s in deterministic core package %s (event execution must be replayable)",
+						n.Sel.Name, pass.Path)
+				}
+			case *ast.SelectStmt:
+				for _, cl := range n.Body.List {
+					if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+						pass.Reportf(n.Pos(),
+							"select with default in deterministic core package %s races on scheduler timing", pass.Path)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// importedPkgName returns the *types.PkgName if e is a reference to an
+// imported package.
+func importedPkgName(pass *Pass, e ast.Expr) *types.PkgName {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := pass.Info.Uses[id].(*types.PkgName)
+	return pn
+}

@@ -1,0 +1,42 @@
+// Package maprange_core poses as a deterministic-core package (it is
+// listed in Config.CorePackages) to exercise the maprange analyzer: no
+// unordered map iteration, because Go randomizes the order per statement.
+package maprange_core
+
+import "sort"
+
+type registry map[string]int
+
+func violations(m map[string]int, r registry) int {
+	sum := 0
+	for k, v := range m { // want `range over map m in deterministic core`
+		sum += v + len(k)
+	}
+	for k := range r { // want `range over map r in deterministic core`
+		sum += len(k)
+	}
+	return sum
+}
+
+// sortedKeys is the prescribed remediation: collect, sort, then iterate the
+// slice. The collection loop itself justifies its unordered iteration.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//govhdlvet:ordered collecting keys to sort immediately below; order cannot leak
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceAndChannelRanges(s []int, ch chan int) int {
+	sum := 0
+	for _, v := range s { // slices iterate in index order: fine
+		sum += v
+	}
+	for v := range ch { // channel ranges are FIFO: fine
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,33 @@
+// Package nondet_core poses as a deterministic-core package (it is listed
+// in Config.CorePackages) to exercise the nondeterminism analyzer: no
+// wall-clock reads, no math/rand, no select-with-default races.
+package nondet_core
+
+import (
+	"math/rand" // want `import of math/rand in deterministic core`
+	"time"
+)
+
+func violations(ch chan int) (int, time.Time) {
+	now := time.Now()            // want `wall-clock time\.Now in deterministic core`
+	time.Sleep(time.Millisecond) // want `wall-clock time\.Sleep in deterministic core`
+	select {                     // want `select with default in deterministic core`
+	case v := <-ch:
+		return v, now
+	default:
+	}
+	return rand.Int(), now
+}
+
+func allowed(ch chan int) time.Duration {
+	d := 3 * time.Millisecond // duration arithmetic is deterministic
+	select {                  // no default clause: blocking receive, no race
+	case <-ch:
+	}
+	return d
+}
+
+func suppressed() time.Time {
+	//govhdlvet:nondet fixture: justified suppression
+	return time.Now()
+}

@@ -1,0 +1,81 @@
+package poolescape_pdes
+
+// Violations of rule 1: use after recycle on a straight-line path.
+
+func useAfterRecycle(w *worker, e *Event) uint64 {
+	w.evPool.put(e)
+	return e.ID // want `use of e after recycle`
+}
+
+func doubleFree(w *worker, e *Event) {
+	w.evPool.put(e)
+	w.evPool.put(e) // want `e recycled twice on this path`
+}
+
+func useAfterRecycleInBranch(w *worker, m *Msg, cond bool) int {
+	if cond {
+		w.msgPool.put(m)
+		return m.Kind // want `use of m after recycle`
+	}
+	return m.Kind // recycle was in the other branch: this path still owns m
+}
+
+// Violations of rule 2: retaining a pooled object outside itself.
+
+func storeInField(w *worker) {
+	e := w.evPool.get()
+	w.held = append(w.held, e) // want `pooled e stored into w\.held`
+}
+
+func storeInGlobal(w *worker) {
+	e := w.evPool.get()
+	escapedGlobal = e // want `pooled e stored into escapedGlobal`
+}
+
+func storeInOtherPooled(w *worker) *Msg {
+	e := w.evPool.get()
+	m := w.msgPool.get()
+	m.Ev = e // want `pooled e stored into m\.Ev`
+	return m
+}
+
+func captureInClosure(w *worker) func() uint64 {
+	e := w.evPool.get()
+	return func() uint64 { return e.ID } // want `pooled e captured by closure`
+}
+
+// Allowed: the ownership discipline of pool.go, as written in the engine.
+
+func fieldWritesAndHandoff(w *worker) {
+	e := w.evPool.get()
+	e.ID = 7     // writing the pooled object's OWN fields
+	w.deliver(e) // ownership transfer through a call
+}
+
+func byValueRecord(w *worker, recs []uint64) []uint64 {
+	e := w.evPool.get()
+	recs = append(recs, e.ID) // copies a field by value, not the pointer
+	w.deliver(e)
+	return recs
+}
+
+func recycleThenRebind(w *worker) *Event {
+	e := w.evPool.get()
+	w.evPool.put(e)
+	e = w.evPool.get() // rebinding ends the poisoning
+	return e
+}
+
+func copyFieldsThenRecycle(w *worker, m *Msg) int {
+	kind := m.Kind   // the handle() pattern: decode first,
+	w.msgPool.put(m) // recycle last
+	return kind
+}
+
+func justifiedOwnerSite(w *worker) *Msg {
+	e := w.evPool.get()
+	m := w.msgPool.get()
+	//govhdlvet:owner the message carries the event to its receiver, which takes ownership
+	m.Ev = e
+	return m
+}

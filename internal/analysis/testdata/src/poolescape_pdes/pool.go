@@ -1,0 +1,56 @@
+// Package poolescape_pdes mirrors the object-pool discipline of
+// internal/pdes/pool.go (the real eventPool/msgPool are unexported) and is
+// listed in Config.PoolPackages so the poolescape analyzer tracks it. The
+// pool bodies themselves, like the real ones, produce no diagnostics: put's
+// free-list append stores a parameter, not a tracked get() result.
+package poolescape_pdes
+
+type Event struct {
+	ID uint64
+}
+
+type Msg struct {
+	Kind int
+	Ev   *Event
+}
+
+type eventPool struct{ free []*Event }
+
+func (p *eventPool) get() *Event {
+	if n := len(p.free) - 1; n >= 0 {
+		e := p.free[n]
+		p.free = p.free[:n]
+		return e
+	}
+	return new(Event)
+}
+
+func (p *eventPool) put(e *Event) {
+	p.free = append(p.free, e)
+}
+
+type msgPool struct{ free []*Msg }
+
+func (p *msgPool) get() *Msg {
+	if n := len(p.free) - 1; n >= 0 {
+		m := p.free[n]
+		p.free = p.free[:n]
+		return m
+	}
+	return new(Msg)
+}
+
+func (p *msgPool) put(m *Msg) {
+	p.free = append(p.free, m)
+}
+
+type worker struct {
+	evPool  eventPool
+	msgPool msgPool
+	held    []*Event
+}
+
+var escapedGlobal *Event
+
+// deliver stands in for the engine's ownership-transferring send path.
+func (w *worker) deliver(e *Event) {}

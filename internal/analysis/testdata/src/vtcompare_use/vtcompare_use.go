@@ -1,0 +1,33 @@
+// Package vtcompare_use exercises the vtcompare analyzer: outside package
+// vtime, ordering two vtime.VT values must go through Less/LessEq, never ad
+// hoc PT/LT field comparisons.
+package vtcompare_use
+
+import "govhdl/internal/vtime"
+
+type holder struct{ ts vtime.VT }
+
+func violations(a, b vtime.VT, h holder, p *vtime.VT, win vtime.Time) {
+	_ = a.PT < b.PT     // want `ad hoc ordering of vtime\.VT fields`
+	_ = a.LT >= b.LT    // want `ad hoc ordering of vtime\.VT fields`
+	_ = a.PT > b.PT+win // want `ad hoc ordering of vtime\.VT fields`
+	_ = h.ts.PT <= b.PT // want `ad hoc ordering of vtime\.VT fields`
+	_ = p.LT < b.LT     // want `ad hoc ordering of vtime\.VT fields`
+	_ = a.PT == b.PT    // want `field-by-field vtime\.VT equality`
+	_ = a.LT != b.LT    // want `field-by-field vtime\.VT equality`
+}
+
+func allowed(a, b vtime.VT, cur vtime.Time) {
+	_ = a.Less(b)      // the lexicographic order, as intended
+	_ = a.LessEq(b)    // likewise
+	_ = a == b         // whole-value equality is exact
+	_ = a.LT > 0       // single-sided: no pair ordering implied
+	_ = a.PT != cur    // comparison against an independent physical time
+	_ = a.PT+1 == b.PT // equality under arithmetic states a relation, not an order
+}
+
+func suppressed(a, b vtime.VT) {
+	//govhdlvet:vtcompare fixture: justified suppression on the preceding line
+	_ = a.PT < b.PT
+	_ = a.LT > b.LT //govhdlvet:vtcompare fixture: justified suppression on the same line
+}

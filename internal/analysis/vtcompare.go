@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// VTCompare enforces the paper's lexicographic virtual-time order: outside
+// package vtime, two vtime.VT values must be ordered through Less/LessEq
+// (or Cmp/Min/Max), never by ad hoc comparison of their PT/LT fields. A
+// field-by-field ordering silently drops the lexicographic tie-break that
+// causally orders delta cycles and phases, which is exactly the kind of
+// divergence the HDL formalization literature documents.
+//
+// Flagged:
+//   - any <, <=, >, >= whose operands BOTH mention a PT or LT field of a
+//     vtime.VT value (even inside arithmetic: ts.PT > gvt.PT+window);
+//   - any == or != between two bare VT field selectors (a.PT == b.PT):
+//     compare the VT values themselves, or use the vtime helpers.
+//
+// Comparing a single field against a constant or an independent quantity
+// (v.LT > 0, e.TS.PT != curTime) is allowed: no pair ordering is implied.
+var VTCompare = &Analyzer{
+	Name:      "vtcompare",
+	Doc:       "ordering two vtime.VT values must go through Less/LessEq, not raw PT/LT fields",
+	Directive: "vtcompare",
+	Run:       runVTCompare,
+}
+
+func runVTCompare(pass *Pass) {
+	if pass.Config.IsVTimePackage(pass.Path) {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if mentionsVTField(pass, be.X) && mentionsVTField(pass, be.Y) {
+					pass.Reportf(be.OpPos,
+						"ad hoc ordering of vtime.VT fields; use VT.Less/LessEq (lexicographic (PT, LT) order)")
+				}
+			case token.EQL, token.NEQ:
+				if isBareVTField(pass, be.X) && isBareVTField(pass, be.Y) {
+					pass.Reportf(be.OpPos,
+						"field-by-field vtime.VT equality; compare the VT values or use vtime helpers")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mentionsVTField reports whether any subexpression of e selects the PT or
+// LT field of a vtime.VT value.
+func mentionsVTField(pass *Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && isVTFieldSel(pass, sel) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isBareVTField reports whether e (modulo parentheses) is exactly a PT/LT
+// selector on a vtime.VT value, with no surrounding arithmetic.
+func isBareVTField(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	return ok && isVTFieldSel(pass, sel)
+}
+
+func isVTFieldSel(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "PT" && sel.Sel.Name != "LT" {
+		return false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return isVTType(pass, tv.Type)
+}
+
+// isVTType reports whether t (or its pointer element) is the VT struct of a
+// configured vtime package.
+func isVTType(pass *Pass, t types.Type) bool {
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "VT" && obj.Pkg() != nil && pass.Config.IsVTimePackage(obj.Pkg().Path())
+}

@@ -302,8 +302,9 @@ func (c *ProcCtx) Bool(i int) bool { return c.Val(i).(bool) }
 // immediately preceding this run — the VHDL s'event attribute.
 func (c *ProcCtx) Event(i int) bool {
 	pt := &c.lp.state.ports[i]
-	now := c.sim.Now()
-	return pt.hasChanged && pt.lastChange.PT == now.PT && pt.lastChange.LT+1 == now.LT
+	// The port changed in the Signal Update phase immediately preceding this
+	// run: now is exactly one phase after the recorded change.
+	return pt.hasChanged && pt.lastChange.NextPhase() == c.sim.Now()
 }
 
 // Rising reports rising_edge(s) for a std_logic port.

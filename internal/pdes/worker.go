@@ -81,8 +81,10 @@ type worker struct {
 	lps     []*lpRT // LPID -> runtime; nil when not owned here
 	owned   []*lpRT
 	// watchers[src] lists owned LPs with an in-edge from src, for mode
-	// broadcasts.
-	watchers map[LPID][]*lpRT
+	// broadcasts. A dense slice indexed by LPID (not a map): lookups stay
+	// O(1) without hashing, and the maprange invariant — no unordered map
+	// iteration in the deterministic core — holds by construction.
+	watchers [][]*lpRT
 
 	sched    tokenHeap
 	schedSeq uint64
@@ -119,8 +121,8 @@ type worker struct {
 	// and scratch slices reused across GVT rounds and history records.
 	evPool   eventPool
 	msgPool  msgPool
-	outBuf   [][]*Msg  // per-destination coalesced sends; empty while paused
-	ackSent  []uint64  // GVT ack scratch (controller reads it only mid-round)
+	outBuf   [][]*Msg // per-destination coalesced sends; empty while paused
+	ackSent  []uint64 // GVT ack scratch (controller reads it only mid-round)
 	recSends [][]antiRec
 	recRecs  [][]any
 
@@ -144,7 +146,7 @@ func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
 		horizon:  horizon,
 		owner:    owner,
 		lps:      make([]*lpRT, sys.NumLPs()),
-		watchers: make(map[LPID][]*lpRT),
+		watchers: make([][]*lpRT, sys.NumLPs()),
 		metrics:  metrics,
 		sink:     sink,
 		user:     cfg.Ordering == OrderUserConsistent,
@@ -321,6 +323,7 @@ func (w *worker) step() bool {
 				w.metrics.Blocked.Add(1)
 				continue // requeued when a guarantee or GVT changes
 			}
+			//govhdlvet:vtcompare ThrottleWindow bounds optimism by physical time alone; no lexicographic (PT, LT) ordering is implied, so comparing PT with a window offset is the intended semantics.
 		} else if w.cfg.ThrottleWindow > 0 && ts.PT > w.gvt.PT+w.cfg.ThrottleWindow {
 			continue // throttled; requeued at the next GVT advance
 		}

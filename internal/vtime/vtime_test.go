@@ -175,6 +175,93 @@ func TestSchedulingAlwaysAdvances(t *testing.T) {
 	}
 }
 
+// TestLessLessEqBoundaries pins the lexicographic comparison on the exact
+// boundary cases the vtcompare analyzer exists to protect: equal PT with
+// differing LT (where a raw PT comparison gets the answer wrong), zero
+// values, and saturated max-int components at the Inf sentinel.
+func TestLessLessEqBoundaries(t *testing.T) {
+	maxPT := ^Time(0)
+	maxLT := ^uint64(0)
+	cases := []struct {
+		name   string
+		a, b   VT
+		less   bool // a.Less(b)
+		lessEq bool // a.LessEq(b)
+	}{
+		{"equal PT, LT decides", VT{5, 1}, VT{5, 2}, true, true},
+		{"equal PT, LT decides (reversed)", VT{5, 2}, VT{5, 1}, false, false},
+		{"equal PT, equal LT", VT{5, 2}, VT{5, 2}, false, true},
+		{"PT dominates large LT", VT{1, maxLT}, VT{2, 0}, true, true},
+		{"zero vs zero", Zero, Zero, false, true},
+		{"zero vs first phase", Zero, VT{0, 1}, true, true},
+		{"zero vs first instant", Zero, VT{1, 0}, true, true},
+		{"max PT, LT still decides", VT{maxPT, 0}, VT{maxPT, 1}, true, true},
+		{"Inf vs Inf", Inf, Inf, false, true},
+		{"just below Inf", VT{maxPT, maxLT - 1}, Inf, true, true},
+		{"max PT zero LT vs Inf", VT{maxPT, 0}, Inf, true, true},
+		{"Inf is an upper bound", Inf, VT{maxPT, maxLT - 1}, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.a.Less(c.b); got != c.less {
+				t.Errorf("%v.Less(%v) = %v, want %v", c.a, c.b, got, c.less)
+			}
+			if got := c.a.LessEq(c.b); got != c.lessEq {
+				t.Errorf("%v.LessEq(%v) = %v, want %v", c.a, c.b, got, c.lessEq)
+			}
+			// LessEq must be exactly Less-or-Equal, and Less strict.
+			if c.a.LessEq(c.b) != (c.a.Less(c.b) || c.a == c.b) {
+				t.Errorf("LessEq(%v,%v) inconsistent with Less/==", c.a, c.b)
+			}
+		})
+	}
+}
+
+func TestPredBoundaries(t *testing.T) {
+	maxLT := ^uint64(0)
+	cases := []struct {
+		v, want VT
+	}{
+		{VT{5, 3}, VT{5, 2}},           // within a physical instant
+		{VT{5, 0}, VT{4, maxLT}},       // borrow from the PT component
+		{Zero, Zero},                   // Pred saturates at Zero
+		{VT{0, 1}, Zero},               // first phase steps back to Zero
+		{Inf, VT{^Time(0), maxLT - 1}}, // Inf has a predecessor
+	}
+	for _, c := range cases {
+		if got := c.v.Pred(); got != c.want {
+			t.Errorf("%v.Pred() = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+// TestPredNextPhaseRoundTrip: NextPhase then Pred is the identity, and Pred
+// is the greatest VT strictly below its argument (nothing fits between).
+func TestPredNextPhaseRoundTrip(t *testing.T) {
+	f := func(pt uint16, lt uint16) bool {
+		v := VT{Time(pt), uint64(lt)}
+		if v.NextPhase().Pred() != v {
+			return false
+		}
+		if v == Zero {
+			return v.Pred() == Zero
+		}
+		p := v.Pred()
+		if !p.Less(v) {
+			return false
+		}
+		// Within a physical instant, Pred and NextPhase are inverses; when
+		// Pred borrows from PT, the LT component saturates instead.
+		if v.LT > 0 {
+			return p.NextPhase() == v
+		}
+		return p.LT == ^uint64(0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestVTString(t *testing.T) {
 	v := VT{PT: 10 * NS, LT: 7}
 	if got := v.String(); got != "10ns+2Δ.1" {
