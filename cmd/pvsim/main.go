@@ -12,16 +12,25 @@
 //
 //	host A: pvsim -top tb -listen :9190 -endpoints 3 -hosted 0,1 design.vhd
 //	host B: pvsim -top tb -connect hostA:9190 -endpoints 3 -hosted 2 design.vhd
+//
+// Fault-tolerant operation: checkpoint every committed GVT round and, after
+// a crash, resume from the saved cut with the complete trace preserved:
+//
+//	pvsim -circuit fsm -workers 4 -checkpoint-file fsm.ck -checkpoint-rounds 1
+//	pvsim -circuit fsm -workers 4 -restore fsm.ck
 package main
 
 import (
+	"encoding/gob"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"govhdl/internal/circuits"
+	"govhdl/internal/faultinject"
 	"govhdl/internal/kernel"
 	"govhdl/internal/pdes"
 	"govhdl/internal/trace"
@@ -30,50 +39,140 @@ import (
 	"govhdl/internal/vtime"
 )
 
+// runOpts carries every CLI tunable into run.
+type runOpts struct {
+	top       string
+	circuit   string
+	protocol  string
+	workers   int
+	until     string
+	lookahead bool
+	user      bool
+	throttle  string
+	saveEvery int
+	vcd       string
+	showTrace bool
+	showStats bool
+	verify    bool
+	compare   bool
+
+	listen     string
+	connect    string
+	endpoints  int
+	hosted     string
+	gvtEvery   int
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+
+	ckptFile   string
+	ckptRounds int
+	restore    string
+
+	faultSeed       int64
+	faultKillWrites int
+	faultDieSends   int
+
+	files []string
+}
+
 func main() {
-	var (
-		top       = flag.String("top", "", "top entity to elaborate (with VHDL files)")
-		circuit   = flag.String("circuit", "", "built-in benchmark circuit: fsm, iir or dct")
-		protocol  = flag.String("protocol", "dynamic", "seq, cons, opt, mixed or dynamic")
-		workers   = flag.Int("workers", 1, "number of parallel workers")
-		untilStr  = flag.String("until", "", "simulation horizon, e.g. 100ns, 2us (default: circuit default or 1ms)")
-		lookahead = flag.Bool("lookahead", false, "enable null messages (conservative lookahead)")
-		user      = flag.Bool("user", false, "user-consistent simultaneous-event ordering")
-		throttle  = flag.String("throttle", "", "optimism bound beyond GVT, e.g. 40ns (0 = unbounded)")
-		ckpt      = flag.Int("checkpoint", 1, "optimistic state-saving interval")
-		vcdPath   = flag.String("vcd", "", "write a value change dump to this file")
-		showTrace = flag.Bool("trace", false, "print committed value changes")
-		showStats = flag.Bool("stats", true, "print protocol metrics")
-		verify    = flag.Bool("verify", true, "verify built-in circuits against their reference models")
-		compare   = flag.Bool("compare", false, "also run the sequential kernel and require identical committed traces")
+	var o runOpts
+	flag.StringVar(&o.top, "top", "", "top entity to elaborate (with VHDL files)")
+	flag.StringVar(&o.circuit, "circuit", "", "built-in benchmark circuit: fsm, iir or dct")
+	flag.StringVar(&o.protocol, "protocol", "dynamic", "seq, cons, opt, mixed or dynamic")
+	flag.IntVar(&o.workers, "workers", 1, "number of parallel workers")
+	flag.StringVar(&o.until, "until", "", "simulation horizon, e.g. 100ns, 2us (default: circuit default or 1ms)")
+	flag.BoolVar(&o.lookahead, "lookahead", false, "enable null messages (conservative lookahead)")
+	flag.BoolVar(&o.user, "user", false, "user-consistent simultaneous-event ordering")
+	flag.StringVar(&o.throttle, "throttle", "", "optimism bound beyond GVT, e.g. 40ns (0 = unbounded)")
+	flag.IntVar(&o.saveEvery, "checkpoint", 1, "optimistic state-saving interval (events per snapshot)")
+	flag.StringVar(&o.vcd, "vcd", "", "write a value change dump to this file")
+	flag.BoolVar(&o.showTrace, "trace", false, "print committed value changes")
+	flag.BoolVar(&o.showStats, "stats", true, "print protocol metrics")
+	flag.BoolVar(&o.verify, "verify", true, "verify built-in circuits against their reference models")
+	flag.BoolVar(&o.compare, "compare", false, "also run the sequential kernel and require identical committed traces")
 
-		listen    = flag.String("listen", "", "distributed: listen address (this process hosts the controller)")
-		connect   = flag.String("connect", "", "distributed: hub address to join")
-		endpoints = flag.Int("endpoints", 0, "distributed: total endpoint count (controller + workers)")
-		hostedStr = flag.String("hosted", "", "distributed: comma-separated endpoint ids hosted here")
-	)
+	flag.StringVar(&o.listen, "listen", "", "distributed: listen address (this process hosts the controller)")
+	flag.StringVar(&o.connect, "connect", "", "distributed: hub address to join")
+	flag.IntVar(&o.endpoints, "endpoints", 0, "distributed: total endpoint count (controller + workers)")
+	flag.StringVar(&o.hosted, "hosted", "", "distributed: comma-separated endpoint ids hosted here")
+	flag.IntVar(&o.gvtEvery, "gvt-every", 0, "events per worker between GVT round requests (0 = engine default)")
+	flag.DurationVar(&o.hbInterval, "hb-interval", time.Second, "distributed: heartbeat interval (<=0 disables liveness checking)")
+	flag.DurationVar(&o.hbTimeout, "hb-timeout", 5*time.Second, "distributed: declare a silent peer dead after this long")
+
+	flag.StringVar(&o.ckptFile, "checkpoint-file", "", "write a GVT-consistent checkpoint (with the trace-so-far) to this file, atomically, at every cut")
+	flag.IntVar(&o.ckptRounds, "checkpoint-rounds", 0, "committed GVT rounds between checkpoint cuts (default 1 when -checkpoint-file is set; pass the same value to every distributed process)")
+	flag.StringVar(&o.restore, "restore", "", "resume from a checkpoint file written by -checkpoint-file (every distributed process needs the file)")
+
+	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injection: PRNG seed (replayable schedules)")
+	flag.IntVar(&o.faultKillWrites, "fault-kill-writes", 0, "fault injection, distributed: hard-close this process's connection after N writes")
+	flag.IntVar(&o.faultDieSends, "fault-die-sends", 0, "fault injection, single-process: kill the fabric after N sends from any endpoint")
 	flag.Parse()
+	o.files = flag.Args()
 
-	if err := run(*top, *circuit, *protocol, *workers, *untilStr, *lookahead,
-		*user, *throttle, *ckpt, *vcdPath, *showTrace, *showStats, *verify, *compare,
-		*listen, *connect, *endpoints, *hostedStr, flag.Args()); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pvsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(top, circuit, protocol string, workers int, untilStr string,
-	lookahead, user bool, throttle string, ckpt int, vcdPath string,
-	showTrace, showStats, verify, compare bool,
-	listen, connect string, endpoints int, hostedStr string, files []string) error {
+// checkpointFile is the on-disk restart image: the engine checkpoint plus
+// the trace committed up to the cut, so a restored run ends with the same
+// complete trace an uninterrupted run would have produced.
+type checkpointFile struct {
+	Ckpt  *pdes.Checkpoint
+	Trace []trace.Entry
+}
 
+// writeCheckpointFile writes atomically (temp file + rename) so a crash
+// mid-write never destroys the previous good checkpoint.
+func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(&checkpointFile{Ckpt: ck, Trace: entries}); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readCheckpointFile(path string) (*pdes.Checkpoint, []trace.Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var cf checkpointFile
+	if err := gob.NewDecoder(f).Decode(&cf); err != nil {
+		return nil, nil, fmt.Errorf("corrupt checkpoint file %s: %w", path, err)
+	}
+	if cf.Ckpt == nil {
+		return nil, nil, fmt.Errorf("checkpoint file %s holds no checkpoint", path)
+	}
+	return cf.Ckpt, cf.Trace, nil
+}
+
+func run(o runOpts) error {
 	// buildDesign is reusable so -compare can construct an identical fresh
 	// model for the sequential reference run.
 	buildDesign := func(quiet bool) (*kernel.Design, *circuits.Circuit, vtime.Time, error) {
 		switch {
-		case circuit != "":
+		case o.circuit != "":
 			var bench *circuits.Circuit
-			switch strings.ToLower(circuit) {
+			switch strings.ToLower(o.circuit) {
 			case "fsm":
 				bench = circuits.BuildFSM(circuits.FSMOpts{})
 			case "iir":
@@ -81,18 +180,18 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 			case "dct":
 				bench = circuits.BuildDCT(circuits.DCTOpts{})
 			default:
-				return nil, nil, 0, fmt.Errorf("unknown circuit %q (fsm, iir or dct)", circuit)
+				return nil, nil, 0, fmt.Errorf("unknown circuit %q (fsm, iir or dct)", o.circuit)
 			}
 			if !quiet {
 				fmt.Printf("circuit: %v\n", bench)
 			}
 			return bench.Design, bench, bench.DefaultHorizon, nil
-		case len(files) > 0:
-			if top == "" {
+		case len(o.files) > 0:
+			if o.top == "" {
 				return nil, nil, 0, fmt.Errorf("-top is required with VHDL files")
 			}
 			lib := vhdl.NewLibrary()
-			for _, f := range files {
+			for _, f := range o.files {
 				src, err := os.ReadFile(f)
 				if err != nil {
 					return nil, nil, 0, err
@@ -101,13 +200,13 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 					return nil, nil, 0, err
 				}
 			}
-			d, err := lib.Elaborate(top)
+			d, err := lib.Elaborate(o.top)
 			if err != nil {
 				return nil, nil, 0, err
 			}
 			if !quiet {
 				fmt.Printf("design: %s (%d signals + %d processes = %d LPs)\n",
-					top, d.NumSignals(), d.NumProcesses(), d.NumLPs())
+					o.top, d.NumSignals(), d.NumProcesses(), d.NumLPs())
 			}
 			return d, nil, 1 * vtime.MS, nil
 		}
@@ -119,8 +218,8 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 		return err
 	}
 
-	if untilStr != "" {
-		t, err := parseTime(untilStr)
+	if o.until != "" {
+		t, err := parseTime(o.until)
 		if err != nil {
 			return err
 		}
@@ -128,11 +227,12 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 	}
 
 	cfg := pdes.Config{
-		Workers:         workers,
-		Lookahead:       lookahead,
-		CheckpointEvery: ckpt,
+		Workers:         o.workers,
+		Lookahead:       o.lookahead,
+		CheckpointEvery: o.saveEvery,
+		GVTEvery:        o.gvtEvery,
 	}
-	switch strings.ToLower(protocol) {
+	switch strings.ToLower(o.protocol) {
 	case "seq", "sequential":
 		cfg.Protocol = pdes.ProtoSequential
 	case "cons", "conservative":
@@ -144,45 +244,100 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 	case "dyn", "dynamic":
 		cfg.Protocol = pdes.ProtoDynamic
 	default:
-		return fmt.Errorf("unknown protocol %q", protocol)
+		return fmt.Errorf("unknown protocol %q", o.protocol)
 	}
-	if user {
+	if o.user {
 		cfg.Ordering = pdes.OrderUserConsistent
 	}
-	if throttle != "" {
-		t, err := parseTime(throttle)
+	if o.throttle != "" {
+		t, err := parseTime(o.throttle)
 		if err != nil {
 			return err
 		}
 		cfg.ThrottleWindow = t
 	}
 
+	distributed := o.listen != "" || o.connect != ""
+	hostsController := o.connect == "" // single-process, or the -listen hub
+
+	// Checkpoint/restore files carry gob-encoded event payloads and trace
+	// items; make sure every wire type is registered before touching them.
+	if o.ckptFile != "" || o.restore != "" {
+		transport.RegisterGob()
+	}
+
 	sys := design.Build()
 	rec := trace.NewRecorder()
 
+	if o.ckptFile != "" && o.ckptRounds <= 0 {
+		o.ckptRounds = 1
+	}
+	if o.ckptRounds > 0 {
+		if cfg.Protocol == pdes.ProtoSequential {
+			return fmt.Errorf("-checkpoint-rounds needs a parallel protocol (the sequential kernel has no GVT rounds)")
+		}
+		cfg.CheckpointRounds = o.ckptRounds
+		if hostsController {
+			if o.ckptFile == "" {
+				return fmt.Errorf("-checkpoint-rounds needs -checkpoint-file on the controller process")
+			}
+			cfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
+				return writeCheckpointFile(o.ckptFile, ck, rec.Entries())
+			}
+		}
+	}
+	if o.restore != "" {
+		ck, entries, err := readCheckpointFile(o.restore)
+		if err != nil {
+			return err
+		}
+		cfg.Restore = ck
+		if hostsController {
+			// The saved trace is replayed into the controller process's
+			// recorder only, so distributed traces are not duplicated.
+			rec.Preload(entries)
+		}
+		fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.restore, ck.GVT, ck.Round)
+	}
+
 	var res *pdes.Result
 	switch {
-	case listen != "" || connect != "":
-		hosted, perr := parseInts(hostedStr)
+	case distributed:
+		hosted, perr := parseInts(o.hosted)
 		if perr != nil || len(hosted) == 0 {
 			return fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
 		}
-		if endpoints < 2 {
+		if o.endpoints < 2 {
 			return fmt.Errorf("distributed mode needs -endpoints >= 2")
 		}
-		cfg.Workers = endpoints - 1
+		cfg.Workers = o.endpoints - 1
+		topts := []transport.Option{transport.WithHeartbeat(o.hbInterval, o.hbTimeout)}
+		if o.faultKillWrites > 0 {
+			plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.faultKillWrites}
+			topts = append(topts, transport.WithConnWrapper(plan.Conn()))
+			fmt.Printf("fault injection: killing this process's connection after %d writes\n", o.faultKillWrites)
+		}
 		var node *transport.Node
-		if listen != "" {
-			fmt.Printf("listening on %s for %d endpoints...\n", listen, endpoints)
-			node, err = transport.Listen(listen, endpoints, hosted)
+		if o.listen != "" {
+			fmt.Printf("listening on %s for %d endpoints...\n", o.listen, o.endpoints)
+			node, err = transport.Listen(o.listen, o.endpoints, hosted, topts...)
 		} else {
-			node, err = transport.Dial(connect, endpoints, hosted)
+			node, err = transport.Dial(o.connect, o.endpoints, hosted, topts...)
 		}
 		if err != nil {
 			return err
 		}
 		defer node.Close()
 		res, err = pdes.RunOn(sys, cfg, until, rec, node.Endpoints())
+	case o.faultDieSends > 0:
+		if cfg.Protocol == pdes.ProtoSequential {
+			return fmt.Errorf("-fault-die-sends needs a parallel protocol")
+		}
+		plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.faultDieSends}
+		eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(cfg.Workers+1), plan)
+		fmt.Printf("fault injection: fabric dies after %d sends from any endpoint (seed %d)\n",
+			o.faultDieSends, o.faultSeed)
+		res, err = pdes.RunOn(sys, cfg, until, rec, eps)
 	case cfg.Protocol == pdes.ProtoSequential:
 		res, err = pdes.RunSequential(sys, until, rec)
 	default:
@@ -193,19 +348,19 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 	}
 
 	fmt.Printf("simulated to %v in %v (GVT %v)\n", until, res.Wall.Round(1e6), res.GVT)
-	if showStats {
+	if o.showStats {
 		fmt.Printf("metrics: %v\n", res.Metrics)
 		if res.Makespan > 0 {
 			fmt.Printf("modeled makespan: %.0f cost units\n", res.Makespan)
 		}
 	}
-	if bench != nil && verify {
+	if bench != nil && o.verify {
 		if err := bench.Verify(until); err != nil {
 			return fmt.Errorf("verification FAILED: %w", err)
 		}
 		fmt.Println("verification: OK (matches the bit-true reference model)")
 	}
-	if compare {
+	if o.compare {
 		refDesign, _, _, err := buildDesign(true)
 		if err != nil {
 			return err
@@ -220,13 +375,13 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 		}
 		fmt.Printf("compare: OK (%d committed records identical to the sequential kernel)\n", rec.Len())
 	}
-	if showTrace {
+	if o.showTrace {
 		for _, line := range rec.Lines(sys) {
 			fmt.Println(line)
 		}
 	}
-	if vcdPath != "" {
-		f, err := os.Create(vcdPath)
+	if o.vcd != "" {
+		f, err := os.Create(o.vcd)
 		if err != nil {
 			return err
 		}
@@ -234,7 +389,7 @@ func run(top, circuit, protocol string, workers int, untilStr string,
 		if err := trace.WriteVCD(f, sys, rec, design.Name); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", vcdPath)
+		fmt.Printf("wrote %s\n", o.vcd)
 	}
 	return nil
 }

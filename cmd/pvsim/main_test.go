@@ -43,16 +43,22 @@ func TestParseInts(t *testing.T) {
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("", "", "dynamic", 1, "", false, false, "", 1, "", false, false, false, false,
-		"", "", 0, "", nil); err == nil {
+	if err := run(runOpts{protocol: "dynamic", workers: 1, saveEvery: 1}); err == nil {
 		t.Error("run with nothing to simulate succeeded")
 	}
-	if err := run("", "nosuch", "dynamic", 1, "", false, false, "", 1, "", false, false, false, false,
-		"", "", 0, "", nil); err == nil {
+	if err := run(runOpts{circuit: "nosuch", protocol: "dynamic", workers: 1, saveEvery: 1}); err == nil {
 		t.Error("unknown circuit accepted")
 	}
-	if err := run("", "fsm", "warp9", 1, "", false, false, "", 1, "", false, false, false, false,
-		"", "", 0, "", nil); err == nil {
+	if err := run(runOpts{circuit: "fsm", protocol: "warp9", workers: 1, saveEvery: 1}); err == nil {
 		t.Error("unknown protocol accepted")
+	}
+	if err := run(runOpts{circuit: "fsm", protocol: "seq", workers: 1, saveEvery: 1, ckptRounds: 1, ckptFile: "x"}); err == nil {
+		t.Error("checkpoint rounds under the sequential kernel accepted")
+	}
+	if err := run(runOpts{circuit: "fsm", protocol: "dyn", workers: 1, saveEvery: 1, ckptRounds: 1}); err == nil {
+		t.Error("checkpoint rounds without a checkpoint file accepted")
+	}
+	if err := run(runOpts{circuit: "fsm", protocol: "dyn", workers: 1, saveEvery: 1, restore: "/nonexistent/ck"}); err == nil {
+		t.Error("restore from a missing file accepted")
 	}
 }

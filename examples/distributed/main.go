@@ -74,13 +74,8 @@ func main() {
 
 	go func() { // peer: worker 2
 		defer wg.Done()
-		var node *transport.Node
-		var err error
-		for i := 0; i < 200; i++ { // retry until the hub listens
-			if node, err = transport.Dial(addr, endpoints, []int{2}); err == nil {
-				break
-			}
-		}
+		// Dial retries with exponential backoff until the hub listens.
+		node, err := transport.Dial(addr, endpoints, []int{2})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -176,12 +176,15 @@ type Equaler interface {
 }
 
 // RegisterGob registers the kernel's wire payload types for the TCP
-// transport. Idempotent.
+// transport, plus the committed-trace item types so recorded traces can be
+// serialized alongside checkpoints. Idempotent.
 func RegisterGob() {
 	gobOnce.Do(func() {
 		gob.Register(&assignMsg{})
 		gob.Register(&updateMsg{})
 		gob.Register(&runMsg{})
+		gob.Register(SigChange{})
+		gob.Register(ReportNote{})
 	})
 }
 

@@ -25,6 +25,7 @@ type controller struct {
 	rounds        uint64
 	prevGVT       vtime.VT
 	prevProcessed uint64
+	sinceCkpt     int // committed rounds since the last checkpoint cut
 
 	// Per-round scratch and message pool: the round protocol gives the
 	// controller exclusive use of these between a broadcast and the last
@@ -35,7 +36,7 @@ type controller struct {
 }
 
 func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, metrics *stats.Metrics) *controller {
-	return &controller{
+	c := &controller{
 		ep:      ep,
 		cfg:     cfg,
 		horizon: horizon,
@@ -45,6 +46,13 @@ func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, met
 		acks:    make([]*Msg, ep.N()),
 		expect:  make([]uint64, ep.N()),
 	}
+	if cfg.Restore != nil {
+		// GVT resumes from the restored cut; the monotonicity check holds
+		// because every restored pending event is at or above it.
+		c.gvt = cfg.Restore.GVT
+		c.prevGVT = cfg.Restore.GVT
+	}
+	return c
 }
 
 func (c *controller) run() {
@@ -55,6 +63,9 @@ func (c *controller) run() {
 		switch m.Kind {
 		case msgFatal:
 			c.abort(m.Err)
+			return
+		case msgPoison:
+			c.err = m.Err
 			return
 		case msgIdle:
 			if !ready[m.From] {
@@ -79,6 +90,10 @@ func (c *controller) run() {
 			m := c.ep.Recv()
 			if m.Kind == msgFatal {
 				c.abort(m.Err)
+				return
+			}
+			if m.Kind == msgPoison {
+				c.err = m.Err
 				return
 			}
 			if m.Kind != msgIdle {
@@ -118,6 +133,9 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		switch m.Kind {
 		case msgFatal:
 			c.abort(m.Err)
+			return false, true
+		case msgPoison:
+			c.err = m.Err
 			return false, true
 		case msgGVTAck:
 			if acks[m.From] == nil {
@@ -182,6 +200,9 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		case msgFatal:
 			c.abort(m.Err)
 			return false, true
+		case msgPoison:
+			c.err = m.Err
+			return false, true
 		case msgGVTMin:
 			if m.Min.Less(gvt) {
 				gvt = m.Min
@@ -212,6 +233,15 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	c.rounds++
 	c.prevGVT, c.prevProcessed = gvt, totalProcessed
 
+	ckpt := false
+	if !isDone && c.cfg.CheckpointRounds > 0 {
+		c.sinceCkpt++
+		if c.sinceCkpt >= c.cfg.CheckpointRounds {
+			c.sinceCkpt = 0
+			ckpt = true
+		}
+	}
+
 	for w := 1; w <= c.workers; w++ {
 		// The ConsLPs/OptLPs backing arrays are shared across the broadcast;
 		// receivers only read them and recycling a Msg drops the slice
@@ -223,12 +253,107 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		m.ConsLPs = consLPs
 		m.OptLPs = optLPs
 		m.Done = isDone
+		m.Ckpt = ckpt
 		c.ep.Send(w, m)
 	}
 	if isDone {
 		c.finalClock = barrier + c.cfg.Costs.GVTCost
 	}
+	if ckpt {
+		return false, c.checkpointRound(gvt)
+	}
 	return isDone, false
+}
+
+// checkpointRound coordinates a checkpoint cut after broadcasting a
+// Ckpt-flagged msgGVTNew: collect every worker's post-commit counts, compute
+// per-worker drain targets exactly as a GVT round does, gather the serialized
+// states once each worker's inbox has drained, hand the assembled Checkpoint
+// to the sink, and release the workers.
+func (c *controller) checkpointRound(gvt vtime.VT) (stopped bool) {
+	acks := c.acks
+	for n := 0; n < c.workers; {
+		m := c.ep.Recv()
+		switch m.Kind {
+		case msgFatal:
+			c.abort(m.Err)
+			return true
+		case msgPoison:
+			c.err = m.Err
+			return true
+		case msgCkptAck:
+			if acks[m.From] == nil {
+				acks[m.From] = m
+				n++
+			}
+		case msgIdle:
+			c.msgs.put(m) // stale trigger, dropped
+		}
+	}
+
+	expect := c.expect
+	for i := range expect {
+		expect[i] = 0
+	}
+	for w := 1; w <= c.workers; w++ {
+		for dst, n := range acks[w].Sent {
+			if dst >= 1 && dst <= c.workers {
+				expect[dst] += n
+			}
+		}
+	}
+	for w := 1; w <= c.workers; w++ {
+		c.msgs.put(acks[w])
+		acks[w] = nil
+	}
+	for w := 1; w <= c.workers; w++ {
+		m := c.msgs.get()
+		m.Kind, m.Expect = msgCkptDrain, expect[w]
+		c.ep.Send(w, m)
+	}
+
+	blobs := make([][]byte, c.workers+1)
+	for n := 0; n < c.workers; {
+		m := c.ep.Recv()
+		switch m.Kind {
+		case msgFatal:
+			c.abort(m.Err)
+			return true
+		case msgPoison:
+			c.err = m.Err
+			return true
+		case msgCkptState:
+			if blobs[m.From] == nil {
+				blobs[m.From] = m.Blob
+				n++
+			}
+			c.msgs.put(m)
+		case msgIdle:
+			c.msgs.put(m)
+		}
+	}
+
+	ck := &Checkpoint{
+		Format:  checkpointFormat,
+		GVT:     gvt,
+		Round:   c.rounds,
+		Workers: c.workers,
+		NumLPs:  len(c.modes),
+		Modes:   append([]Mode(nil), c.modes...),
+		Blobs:   blobs,
+	}
+	if sink := c.cfg.CheckpointSink; sink != nil {
+		if err := sink(ck); err != nil {
+			c.abort(&SimError{Text: "pdes: checkpoint sink: " + err.Error()})
+			return true
+		}
+	}
+	for w := 1; w <= c.workers; w++ {
+		m := c.msgs.get()
+		m.Kind = msgCkptDone
+		c.ep.Send(w, m)
+	}
+	return false
 }
 
 func (c *controller) abort(err *SimError) {

@@ -62,16 +62,21 @@ func (e *Event) String() string {
 type msgKind uint8
 
 const (
-	msgEvent    msgKind = iota // an application event (or anti-message)
-	msgNull                    // a null message carrying a channel-clock promise
-	msgGVTPause                // controller -> worker: stop and flush
-	msgGVTAck                  // worker -> controller: flushed, with send/recv counts
-	msgGVTDrain                // controller -> worker: drain inbox to Expect total
-	msgGVTMin                  // worker -> controller: local minimum after drain
-	msgGVTNew                  // controller -> worker: new GVT (and mode table)
-	msgIdle                    // worker -> controller: idle notice or GVT request
-	msgFatal                   // worker -> controller: unrecoverable error
-	msgStop                    // controller -> worker: abort now
+	msgEvent     msgKind = iota // an application event (or anti-message)
+	msgNull                     // a null message carrying a channel-clock promise
+	msgGVTPause                 // controller -> worker: stop and flush
+	msgGVTAck                   // worker -> controller: flushed, with send/recv counts
+	msgGVTDrain                 // controller -> worker: drain inbox to Expect total
+	msgGVTMin                   // worker -> controller: local minimum after drain
+	msgGVTNew                   // controller -> worker: new GVT (and mode table)
+	msgIdle                     // worker -> controller: idle notice or GVT request
+	msgFatal                    // worker -> controller: unrecoverable error
+	msgStop                     // controller -> worker: abort now
+	msgCkptAck                  // worker -> controller: committed at GVT, counts snapshot
+	msgCkptDrain                // controller -> worker: drain inbox to Expect total
+	msgCkptState                // worker -> controller: serialized worker state
+	msgCkptDone                 // controller -> worker: checkpoint persisted, resume
+	msgPoison                   // transport/injector -> anyone: the substrate is dead
 )
 
 // Msg is the unit carried by a Transport. Exactly one of the payload groups
@@ -103,8 +108,25 @@ type Msg struct {
 	Processed uint64     // msgIdle/msgGVTAck: events processed so far
 	Nulls     uint64     // msgGVTAck: null messages sent so far
 	Done      bool       // msgGVTNew: termination flag
-	Err       *SimError  // msgFatal/msgGVTNew: fatal error, if any
+	Ckpt      bool       // msgGVTNew: this round ends in a checkpoint cut
+	Blob      []byte     // msgCkptState: gob-encoded worker snapshot
+	Err       *SimError  // msgFatal/msgStop/msgPoison: fatal error, if any
 	Modes     []ModePair // msgGVTAck: mode switches requested by this worker
+}
+
+// PoisonMsg builds the message a failing message substrate injects into every
+// locally hosted endpoint so that workers and the controller — possibly
+// blocked in Recv, mid GVT round — observe transport death and unwind RunOn
+// with a diagnosed error instead of hanging at the barrier. The substrate must
+// return a fresh poison message from every Recv/TryRecv after failure: poison
+// messages are sticky on the substrate side, never recycled on the engine
+// side.
+func PoisonMsg(err error) *Msg {
+	se, ok := err.(*SimError)
+	if !ok {
+		se = &SimError{Text: "pdes: transport failure: " + err.Error()}
+	}
+	return &Msg{Kind: msgPoison, Err: se}
 }
 
 // ModePair records one LP's mode after adaptation.

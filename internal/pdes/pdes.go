@@ -172,6 +172,22 @@ type Config struct {
 	// no safe events) at more than this fraction of scheduling
 	// opportunities switches to optimistic. Default 0.7.
 	AdaptBlockedHi float64
+
+	// CheckpointRounds, when positive, turns every Nth committed GVT round
+	// into a run-level checkpoint cut: workers commit everything at or below
+	// the new GVT, drain in-flight messages, and serialize their state so
+	// the controller can assemble a Checkpoint a later run restores from.
+	// In distributed mode every process must use the same value (workers
+	// keep per-LP committed-event logs only when it is positive).
+	CheckpointRounds int
+	// CheckpointSink receives each assembled Checkpoint on the process
+	// hosting endpoint 0. A sink error aborts the run. Required on the
+	// controller process when CheckpointRounds > 0.
+	CheckpointSink func(*Checkpoint) error
+	// Restore, when non-nil, starts the run from a previously assembled
+	// Checkpoint instead of from the initial model states. The System must
+	// be constructed identically to the checkpointed run's.
+	Restore *Checkpoint
 }
 
 func (c *Config) fillDefaults() {

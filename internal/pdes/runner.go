@@ -54,6 +54,20 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 	if cfg.Workers != total-1 {
 		return nil, fmt.Errorf("pdes: Config.Workers (%d) must match the fabric's worker count (%d)", cfg.Workers, total-1)
 	}
+	hostsController := false
+	for _, ep := range eps {
+		if ep.Self() == 0 {
+			hostsController = true
+		}
+	}
+	if cfg.CheckpointRounds > 0 && hostsController && cfg.CheckpointSink == nil {
+		return nil, fmt.Errorf("pdes: Config.CheckpointRounds is set but the controller process has no CheckpointSink")
+	}
+	if cfg.Restore != nil {
+		if err := validateRestore(cfg.Restore, sys, &cfg); err != nil {
+			return nil, err
+		}
+	}
 	sys.frozen = true
 
 	horizon := vtime.VT{PT: until}
@@ -67,8 +81,15 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 		}
 	}
 	modes := make([]Mode, sys.NumLPs())
-	for i := range modes {
-		modes[i] = sys.initialMode(LPID(i), cfg.Protocol)
+	if cfg.Restore != nil {
+		// The mode table resumes from the cut, not from the initial
+		// assignment: adaptation decisions made before the checkpoint are
+		// part of the restored state.
+		copy(modes, cfg.Restore.Modes)
+	} else {
+		for i := range modes {
+			modes[i] = sys.initialMode(LPID(i), cfg.Protocol)
+		}
 	}
 
 	var workers []*worker
@@ -122,6 +143,11 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 			res.Makespan = w.finalClock
 		}
 		if w.stopped {
+			// Surface the abort's diagnosis on worker-only processes, where
+			// no controller error is available locally.
+			if w.err != nil {
+				return res, w.err
+			}
 			return res, fmt.Errorf("pdes: simulation aborted")
 		}
 	}

@@ -48,6 +48,11 @@ type lpRT struct {
 
 	lastPromise []vtime.VT // per out-edge (parallel to decl.out): last null promise
 
+	// commitLog records every committed execution by value (checkpoint
+	// runs only, see Config.CheckpointRounds): the restore path rebuilds
+	// model state by replaying it, because model snapshots are opaque.
+	commitLog []ckptEvent
+
 	// Adaptation window counters, reset at each GVT round.
 	execs       uint64 // events executed
 	rolled      uint64 // events rolled back

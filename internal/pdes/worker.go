@@ -128,6 +128,13 @@ type worker struct {
 
 	finalClock float64
 	stopped    bool
+	err        *SimError // why the worker stopped (abort or transport death)
+
+	// Checkpoint/restart (checkpoint.go): logCommits enables the per-LP
+	// committed-event logs a checkpoint serializes; restore, when non-nil,
+	// rebuilds the worker from a prior cut instead of initializing LPs.
+	logCommits bool
+	restore    *Checkpoint
 }
 
 type deferredMsg struct {
@@ -176,6 +183,8 @@ func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
 		w.owned = append(w.owned, lp)
 	}
 	w.ctx = &Ctx{sys: sys, emit: w.emit, record: w.recordItem}
+	w.logCommits = cfg.CheckpointRounds > 0
+	w.restore = cfg.Restore
 	return w
 }
 
@@ -195,7 +204,11 @@ func (w *worker) run() {
 		}
 	}()
 
-	w.initLPs()
+	if w.restore != nil {
+		w.applyRestore()
+	} else {
+		w.initLPs()
+	}
 	w.flushSends()
 	w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true})
 	const batch = 8
@@ -257,10 +270,11 @@ func (w *worker) flushSends() {
 	}
 }
 
-// awaitStop ignores everything until the controller confirms the abort.
+// awaitStop ignores everything until the controller confirms the abort — or
+// the transport dies, in which case no confirmation can ever arrive.
 func (w *worker) awaitStop() {
 	for {
-		if m := w.ep.Recv(); m.Kind == msgStop {
+		if m := w.ep.Recv(); m.Kind == msgStop || m.Kind == msgPoison {
 			return
 		}
 	}
@@ -296,6 +310,11 @@ func (w *worker) handle(m *Msg) bool {
 		w.msgPool.put(m)
 		return w.gvtParticipate()
 	case msgStop:
+		w.err = m.Err
+		w.stopped = true
+		return true
+	case msgPoison:
+		w.err = m.Err
 		w.stopped = true
 		return true
 	}
@@ -391,8 +410,10 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 		w.curRec = nil
 		lp.model.Execute(w.ctx, ev)
 		w.curRec = prev
-		// A conservative execution can never roll back: the receiver's
-		// ownership of the event ends here and it goes back to the pool.
+		// A conservative execution can never roll back: it is committed
+		// immediately, the receiver's ownership of the event ends here and
+		// it goes back to the pool.
+		w.logCommit(lp, ev)
 		w.evPool.put(ev)
 	}
 	lp.now = ts
@@ -798,10 +819,19 @@ func (w *worker) gvtParticipate() (done bool) {
 			haveExpect = true
 			w.msgPool.put(m)
 		case msgGVTNew:
+			ckpt := m.Ckpt
 			done = w.applyGVTNew(m)
 			w.msgPool.put(m)
+			if ckpt && !done {
+				return w.ckptParticipate()
+			}
 			return done
 		case msgStop:
+			w.err = m.Err
+			w.stopped = true
+			return true
+		case msgPoison:
+			w.err = m.Err
 			w.stopped = true
 			return true
 		}
@@ -951,6 +981,7 @@ func (w *worker) commitHistory(lp *lpRT) {
 				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
 			}
 		}
+		w.logCommit(lp, rec.ev)
 		w.evPool.put(rec.ev)
 		w.recycleRec(rec)
 		lp.processed[k] = procRec{}
@@ -990,6 +1021,7 @@ func (w *worker) fossil(lp *lpRT, done bool) {
 				w.sink.Commit(lp.decl.id, rec.ev.TS, item)
 			}
 		}
+		w.logCommit(lp, rec.ev)
 		w.evPool.put(rec.ev)
 		w.recycleRec(rec)
 	}

@@ -51,6 +51,23 @@ func (r *Recorder) Len() int {
 	return len(r.entries)
 }
 
+// Entries returns a copy of the committed records in commit order, e.g. for
+// serializing the trace-so-far alongside a simulation checkpoint.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Entry(nil), r.entries...)
+}
+
+// Preload seeds the recorder with records committed by an earlier run, so a
+// simulation restored from a checkpoint ends with the same complete trace an
+// uninterrupted run would have produced.
+func (r *Recorder) Preload(entries []Entry) {
+	r.mu.Lock()
+	r.entries = append(r.entries, entries...)
+	r.mu.Unlock()
+}
+
 // Sorted returns the entries in deterministic (TS, LP, item) order.
 func (r *Recorder) Sorted() []Entry {
 	r.mu.Lock()

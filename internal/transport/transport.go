@@ -9,21 +9,45 @@
 // inbound connection is drained by a single goroutine that forwards
 // messages in arrival order.
 //
+// Failure model: the transport is fail-fast. The first connection error —
+// a broken stream, a heartbeat timeout, a send to an unroutable endpoint —
+// permanently fails the whole Node: the error is recorded (Err), every
+// connection is torn down so peers notice promptly, and every hosted
+// endpoint's Recv/TryRecv returns poison messages that make the PDES
+// workers and controller unwind cleanly out of RunOn with a diagnosed
+// error. There is no transparent reconnection; recovery is by restarting
+// the cluster from a GVT-consistent checkpoint (pdes.Checkpoint).
+//
 // Every participating process must construct an identical System and Config
 // and call pdes.RunOn with its node's endpoints.
 package transport
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"govhdl/internal/kernel"
 	"govhdl/internal/pdes"
 	"govhdl/internal/stdlogic"
 	"govhdl/internal/vtime"
 )
+
+// protocolVersion is checked during the handshake so mismatched builds fail
+// with a diagnosis instead of a gob decode error mid-run.
+const protocolVersion = 2
+
+// hbDst is the reserved wire destination for heartbeat frames; receivers
+// drop it after refreshing their read deadline.
+const hbDst = -1
+
+// helloTimeout bounds how long each side waits for the handshake exchange.
+const helloTimeout = 10 * time.Second
 
 // RegisterGob registers every payload type the kernel sends over the wire.
 // It is idempotent and called automatically by Listen/Dial.
@@ -49,9 +73,70 @@ type wire struct {
 	Batch []*pdes.Msg
 }
 
-// hello announces a joining process's hosted endpoints.
+// hello announces a joining process's hosted endpoints. The hub validates
+// every claim before admitting the connection.
 type hello struct {
-	Hosted []int
+	Version int
+	Total   int
+	Hosted  []int
+}
+
+// helloAck is the hub's verdict on a hello.
+type helloAck struct {
+	OK  bool
+	Err string
+}
+
+// options collects the tunables shared by Listen and Dial.
+type options struct {
+	hbInterval     time.Duration
+	hbTimeout      time.Duration
+	dialAttempts   int
+	dialBackoff    time.Duration
+	dialBackoffCap time.Duration
+	wrap           func(net.Conn) net.Conn
+	onError        func(error)
+}
+
+func defaultOptions() options {
+	return options{
+		hbInterval:     time.Second,
+		hbTimeout:      5 * time.Second,
+		dialAttempts:   25,
+		dialBackoff:    20 * time.Millisecond,
+		dialBackoffCap: 500 * time.Millisecond,
+	}
+}
+
+// Option customizes Listen or Dial.
+type Option func(*options)
+
+// WithHeartbeat sets the liveness probe cadence: every connection sends a
+// heartbeat frame each interval, and a connection with no inbound traffic
+// (messages or heartbeats) for timeout is declared dead. interval <= 0
+// disables heartbeats and read deadlines entirely.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(o *options) { o.hbInterval, o.hbTimeout = interval, timeout }
+}
+
+// WithDialRetry sets how persistently Dial chases a hub that has not started
+// listening yet: attempts tries with backoff doubling per failure (capped at
+// 500ms). attempts <= 1 means a single try.
+func WithDialRetry(attempts int, backoff time.Duration) Option {
+	return func(o *options) { o.dialAttempts, o.dialBackoff = attempts, backoff }
+}
+
+// WithConnWrapper interposes on every established connection, in both
+// directions; package faultinject uses it to corrupt, delay, and kill
+// streams under test.
+func WithConnWrapper(wrap func(net.Conn) net.Conn) Option {
+	return func(o *options) { o.wrap = wrap }
+}
+
+// WithOnError registers a callback invoked exactly once, with the first
+// transport error, when the node fails.
+func WithOnError(f func(error)) Option {
+	return func(o *options) { o.onError = f }
 }
 
 // Node is this process's attachment to the cluster.
@@ -59,12 +144,19 @@ type Node struct {
 	total  int
 	hosted []int
 	eps    map[int]*endpoint
+	opts   options
 
-	mu    sync.Mutex
-	conns map[int]*conn // remote endpoint id -> connection that hosts it
-	lns   net.Listener
-	wg    sync.WaitGroup
-	errCh chan error
+	mu       sync.Mutex
+	conns    map[int]*conn // remote endpoint id -> connection that hosts it
+	firstErr error
+	lns      net.Listener
+
+	failed    chan struct{} // closed on first transport error
+	stopCh    chan struct{} // closed on deliberate Close
+	failOnce  sync.Once
+	closeOnce sync.Once
+	closed    atomic.Bool // deliberate shutdown: late conn errors are expected
+	wg        sync.WaitGroup
 }
 
 type conn struct {
@@ -106,9 +198,26 @@ func (e *endpoint) SendBatch(dst int, ms []*pdes.Msg) {
 	e.node.route(&wire{Dst: dst, Batch: batch})
 }
 
-func (e *endpoint) Recv() *pdes.Msg { return <-e.box }
+func (e *endpoint) Recv() *pdes.Msg {
+	select {
+	case <-e.node.failed:
+		return pdes.PoisonMsg(e.node.Err())
+	default:
+	}
+	select {
+	case m := <-e.box:
+		return m
+	case <-e.node.failed:
+		return pdes.PoisonMsg(e.node.Err())
+	}
+}
 
 func (e *endpoint) TryRecv() (*pdes.Msg, bool) {
+	select {
+	case <-e.node.failed:
+		return pdes.PoisonMsg(e.node.Err()), true
+	default:
+	}
 	select {
 	case m := <-e.box:
 		return m, true
@@ -119,31 +228,43 @@ func (e *endpoint) TryRecv() (*pdes.Msg, bool) {
 
 // route delivers a wire message: locally when the destination endpoint
 // lives here, otherwise over the owning connection (the hub forwards).
+// Any delivery failure permanently fails the node.
 func (n *Node) route(w *wire) {
+	select {
+	case <-n.failed:
+		return // already failing: drop, receivers get poison
+	default:
+	}
 	if ep, ok := n.eps[w.Dst]; ok {
 		if w.Batch != nil {
 			for _, m := range w.Batch {
-				ep.box <- m
+				select {
+				case ep.box <- m:
+				case <-n.failed:
+					return
+				case <-n.stopCh:
+					return
+				}
 			}
 			return
 		}
-		ep.box <- w.M
+		select {
+		case ep.box <- w.M:
+		case <-n.failed:
+		case <-n.stopCh:
+		}
 		return
 	}
 	n.mu.Lock()
 	cn := n.conns[w.Dst]
 	n.mu.Unlock()
 	if cn == nil {
-		select {
-		case n.errCh <- fmt.Errorf("transport: no route to endpoint %d", w.Dst):
-		default:
-		}
+		n.fail(fmt.Errorf("transport: no route to endpoint %d", w.Dst))
 		return
 	}
 	if err := cn.send(w); err != nil {
-		select {
-		case n.errCh <- fmt.Errorf("transport: send to endpoint %d: %w", w.Dst, err):
-		default:
+		if !n.closed.Load() {
+			n.fail(fmt.Errorf("transport: send to endpoint %d: %w", w.Dst, err))
 		}
 	}
 }
@@ -160,35 +281,90 @@ func (n *Node) Endpoints() []pdes.Endpoint {
 	return out
 }
 
-// Err reports the first asynchronous transport error, if any.
+// Err reports the sticky first transport error, or nil while the node is
+// healthy. Once non-nil it never changes and never clears.
 func (n *Node) Err() error {
 	select {
-	case err := <-n.errCh:
-		return err
+	case <-n.failed:
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		return n.firstErr
 	default:
 		return nil
 	}
 }
 
-// Close tears the node down.
-func (n *Node) Close() {
-	if n.lns != nil {
-		n.lns.Close()
+// Failed returns a channel closed when the node fails, for callers that
+// want to select on transport death.
+func (n *Node) Failed() <-chan struct{} { return n.failed }
+
+// fail records the first error, wakes every blocked receiver with poison,
+// and tears down all connections so remote peers observe the failure
+// promptly instead of hanging in the GVT protocol.
+func (n *Node) fail(err error) {
+	if n.closed.Load() {
+		return
 	}
-	n.mu.Lock()
-	for _, cn := range n.conns {
-		cn.c.Close()
-	}
-	n.mu.Unlock()
+	n.failOnce.Do(func() {
+		n.mu.Lock()
+		n.firstErr = err
+		lns := n.lns
+		conns := uniqueConns(n.conns)
+		n.mu.Unlock()
+		close(n.failed)
+		if n.opts.onError != nil {
+			n.opts.onError(err)
+		}
+		if lns != nil {
+			lns.Close()
+		}
+		for _, cn := range conns {
+			cn.c.Close()
+		}
+	})
 }
 
-func newNode(total int, hosted []int) *Node {
+// Close tears the node down deliberately. It is idempotent and waits for
+// every transport goroutine to exit before returning.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		n.closed.Store(true)
+		close(n.stopCh)
+		n.mu.Lock()
+		lns := n.lns
+		conns := uniqueConns(n.conns)
+		n.mu.Unlock()
+		if lns != nil {
+			lns.Close()
+		}
+		for _, cn := range conns {
+			cn.c.Close()
+		}
+		n.wg.Wait()
+	})
+}
+
+func uniqueConns(m map[int]*conn) []*conn {
+	seen := make(map[*conn]bool, len(m))
+	out := make([]*conn, 0, len(m))
+	for _, cn := range m {
+		if cn != nil && !seen[cn] {
+			seen[cn] = true
+			out = append(out, cn)
+		}
+	}
+	return out
+}
+
+func newNode(total int, hosted []int, o options) *Node {
 	n := &Node{
 		total:  total,
 		hosted: hosted,
 		eps:    map[int]*endpoint{},
+		opts:   o,
 		conns:  map[int]*conn{},
-		errCh:  make(chan error, 8),
+		failed: make(chan struct{}),
+		stopCh: make(chan struct{}),
 	}
 	for _, id := range hosted {
 		// Deep buffering substitutes for the unbounded in-process
@@ -198,24 +374,141 @@ func newNode(total int, hosted []int) *Node {
 	return n
 }
 
+// startConn begins draining (and, when enabled, heartbeating) an
+// established, handshaken connection.
+func (n *Node) startConn(cn *conn, dec *gob.Decoder) {
+	n.wg.Add(1)
+	go n.drain(cn, dec)
+	if n.opts.hbInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeat(cn)
+	}
+}
+
 // drain forwards everything arriving on cn into local endpoints or onward
-// (hub only). A single goroutine per connection preserves FIFO order.
+// (hub only). A single goroutine per connection preserves FIFO order. A
+// decode failure — peer death, heartbeat timeout, stream corruption — fails
+// the node unless the node is already deliberately closed.
 func (n *Node) drain(cn *conn, dec *gob.Decoder) {
 	defer n.wg.Done()
 	for {
+		if n.opts.hbInterval > 0 {
+			cn.c.SetReadDeadline(time.Now().Add(n.opts.hbTimeout))
+		}
 		var w wire
 		if err := dec.Decode(&w); err != nil {
-			return // connection closed
+			if n.closed.Load() {
+				return // deliberate shutdown
+			}
+			n.fail(n.diagnose(err))
+			return
+		}
+		if w.Dst == hbDst {
+			continue // heartbeat: deadline already refreshed
 		}
 		n.route(&w)
 	}
 }
 
+// diagnose turns a raw stream error into an actionable one.
+func (n *Node) diagnose(err error) error {
+	var ne net.Error
+	switch {
+	case errors.As(err, &ne) && ne.Timeout():
+		return fmt.Errorf("transport: heartbeat timeout (no traffic for %v): peer process is dead or wedged: %w", n.opts.hbTimeout, err)
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("transport: connection closed by peer (remote process exited): %w", err)
+	default:
+		return fmt.Errorf("transport: corrupt or interrupted stream: %w", err)
+	}
+}
+
+// heartbeat keeps cn alive from this side: one frame per interval, until
+// the node fails or closes.
+func (n *Node) heartbeat(cn *conn) {
+	defer n.wg.Done()
+	t := time.NewTicker(n.opts.hbInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := cn.send(&wire{Dst: hbDst}); err != nil {
+				if !n.closed.Load() {
+					n.fail(fmt.Errorf("transport: heartbeat send: %w", err))
+				}
+				return
+			}
+		case <-n.failed:
+			return
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+func validateHosted(total int, hosted []int) error {
+	if total < 2 {
+		return fmt.Errorf("transport: a cluster needs at least 2 endpoints, got %d", total)
+	}
+	if len(hosted) == 0 {
+		return fmt.Errorf("transport: a node must host at least one endpoint")
+	}
+	seen := make(map[int]bool, len(hosted))
+	for _, id := range hosted {
+		if id < 0 || id >= total {
+			return fmt.Errorf("transport: hosted endpoint %d out of range [0,%d)", id, total)
+		}
+		if seen[id] {
+			return fmt.Errorf("transport: duplicate hosted endpoint %d", id)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// vetHello validates a dialer's claims against the hub's view of the
+// cluster. claimed maps endpoint ids to true once owned (hub-hosted or
+// admitted earlier).
+func (n *Node) vetHello(h *hello, claimed map[int]bool) error {
+	if h.Version != protocolVersion {
+		return fmt.Errorf("transport: protocol version mismatch: hub speaks %d, dialer speaks %d (rebuild both sides from the same source)", protocolVersion, h.Version)
+	}
+	if h.Total != n.total {
+		return fmt.Errorf("transport: cluster size mismatch: hub expects %d endpoints, dialer claims a cluster of %d", n.total, h.Total)
+	}
+	if len(h.Hosted) == 0 {
+		return fmt.Errorf("transport: dialer hosts no endpoints")
+	}
+	local := make(map[int]bool, len(h.Hosted))
+	for _, id := range h.Hosted {
+		if id == 0 {
+			return fmt.Errorf("transport: endpoint 0 (the GVT controller) lives on the listening node")
+		}
+		if id < 0 || id >= n.total {
+			return fmt.Errorf("transport: claimed endpoint %d out of range [0,%d)", id, n.total)
+		}
+		if claimed[id] || local[id] {
+			return fmt.Errorf("transport: endpoint %d already claimed by another process", id)
+		}
+		local[id] = true
+	}
+	return nil
+}
+
 // Listen starts the hub process. hosted must include endpoint 0 (the
 // controller). It blocks until every other endpoint has been claimed by a
-// dialing process.
-func Listen(addr string, total int, hosted []int) (*Node, error) {
+// dialing process, validating each claim and rejecting (with a diagnosed
+// helloAck) dialers whose claims conflict — a rejection does not abort
+// cluster formation.
+func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error) {
 	RegisterGob()
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := validateHosted(total, hosted); err != nil {
+		return nil, err
+	}
 	if !contains(hosted, 0) {
 		return nil, fmt.Errorf("transport: the listening node must host endpoint 0")
 	}
@@ -223,53 +516,95 @@ func Listen(addr string, total int, hosted []int) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := newNode(total, hosted)
+	n := newNode(total, hosted, o)
 	n.lns = ln
 
-	claimed := len(hosted)
-	for claimed < total {
+	claimed := make(map[int]bool, total)
+	for _, id := range hosted {
+		claimed[id] = true
+	}
+	for len(claimed) < total {
 		c, err := ln.Accept()
 		if err != nil {
 			n.Close()
-			return nil, err
+			return nil, fmt.Errorf("transport: accept: %w", err)
+		}
+		if o.wrap != nil {
+			c = o.wrap(c)
 		}
 		dec := gob.NewDecoder(c)
 		enc := gob.NewEncoder(c)
+		c.SetReadDeadline(time.Now().Add(helloTimeout))
 		var h hello
 		if err := dec.Decode(&h); err != nil {
-			n.Close()
-			return nil, fmt.Errorf("transport: bad hello: %w", err)
+			// A garbage connection (port scan, wrong protocol) must not
+			// abort cluster formation.
+			c.Close()
+			continue
+		}
+		if err := n.vetHello(&h, claimed); err != nil {
+			enc.Encode(&helloAck{Err: err.Error()})
+			c.Close()
+			continue
+		}
+		c.SetReadDeadline(time.Time{})
+		if err := enc.Encode(&helloAck{OK: true}); err != nil {
+			c.Close()
+			continue
 		}
 		cn := &conn{c: c, enc: enc}
 		n.mu.Lock()
 		for _, id := range h.Hosted {
 			n.conns[id] = cn
+			claimed[id] = true
 		}
 		n.mu.Unlock()
-		claimed += len(h.Hosted)
-		n.wg.Add(1)
-		go n.drain(cn, dec)
+		n.startConn(cn, dec)
 	}
 	return n, nil
 }
 
-// Dial joins a cluster as the host of the given endpoints.
-func Dial(addr string, total int, hosted []int) (*Node, error) {
+// Dial joins a cluster as the host of the given endpoints, retrying with
+// exponential backoff while the hub is not yet listening, then performing
+// the validated handshake. A hub rejection returns its diagnosis.
+func Dial(addr string, total int, hosted []int, opts ...Option) (*Node, error) {
 	RegisterGob()
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := validateHosted(total, hosted); err != nil {
+		return nil, err
+	}
 	if contains(hosted, 0) {
 		return nil, fmt.Errorf("transport: endpoint 0 lives on the listening node")
 	}
-	c, err := net.Dial("tcp", addr)
+	c, err := dialRetry(addr, &o)
 	if err != nil {
 		return nil, err
 	}
-	n := newNode(total, hosted)
+	if o.wrap != nil {
+		c = o.wrap(c)
+	}
 	enc := gob.NewEncoder(c)
 	dec := gob.NewDecoder(c)
-	if err := enc.Encode(&hello{Hosted: hosted}); err != nil {
+	if err := enc.Encode(&hello{Version: protocolVersion, Total: total, Hosted: hosted}); err != nil {
 		c.Close()
-		return nil, err
+		return nil, fmt.Errorf("transport: handshake send: %w", err)
 	}
+	c.SetReadDeadline(time.Now().Add(helloTimeout))
+	var ack helloAck
+	if err := dec.Decode(&ack); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: handshake: no ack from hub: %w", err)
+	}
+	if !ack.OK {
+		c.Close()
+		return nil, fmt.Errorf("transport: hub rejected this node: %s", ack.Err)
+	}
+	c.SetReadDeadline(time.Time{})
+
+	n := newNode(total, hosted, o)
 	cn := &conn{c: c, enc: enc}
 	n.mu.Lock()
 	for id := 0; id < total; id++ {
@@ -278,9 +613,37 @@ func Dial(addr string, total int, hosted []int) (*Node, error) {
 		}
 	}
 	n.mu.Unlock()
-	n.wg.Add(1)
-	go n.drain(cn, dec)
+	n.startConn(cn, dec)
 	return n, nil
+}
+
+// dialRetry connects to addr, retrying with capped exponential backoff so a
+// dialer started before the hub wins the race instead of erroring out.
+func dialRetry(addr string, o *options) (net.Conn, error) {
+	attempts := o.dialAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := o.dialBackoff
+	if backoff <= 0 {
+		backoff = 20 * time.Millisecond
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		if i+1 < attempts {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > o.dialBackoffCap {
+				backoff = o.dialBackoffCap
+			}
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
 }
 
 func contains(xs []int, x int) bool {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"testing"
+	"time"
 
 	"govhdl/internal/pdes"
 )
@@ -19,7 +20,7 @@ func TestDialRejectsController(t *testing.T) {
 }
 
 func TestDialUnreachable(t *testing.T) {
-	if _, err := Dial("127.0.0.1:1", 2, []int{1}); err == nil {
+	if _, err := Dial("127.0.0.1:1", 2, []int{1}, WithDialRetry(2, time.Millisecond)); err == nil {
 		t.Fatal("Dial to a dead address succeeded")
 	}
 }
@@ -35,13 +36,7 @@ func TestNodeErrSurfacesRouteFailures(t *testing.T) {
 		}
 		done <- hub
 	}()
-	var peer *Node
-	var err error
-	for i := 0; i < 100; i++ {
-		if peer, err = Dial(addr, 2, []int{1}); err == nil {
-			break
-		}
-	}
+	peer, err := Dial(addr, 2, []int{1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -35,14 +35,8 @@ func TestWireFIFOAndRouting(t *testing.T) {
 		hub, err = Listen(addr, 3, []int{0})
 		close(done)
 	}()
-	var peer *Node
-	var derr error
-	for i := 0; i < 100; i++ { // retry until the hub listens
-		peer, derr = Dial(addr, 3, []int{1, 2})
-		if derr == nil {
-			break
-		}
-	}
+	// Dial's built-in backoff rides out the race with Listen.
+	peer, derr := Dial(addr, 3, []int{1, 2})
 	if derr != nil {
 		t.Fatal(derr)
 	}
@@ -161,14 +155,7 @@ func TestDistributedSimulationOverTCP(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		var node *Node
-		var err error
-		for i := 0; i < 50; i++ { // retry until the hub listens
-			node, err = Dial(addr, 3, []int{2})
-			if err == nil {
-				break
-			}
-		}
+		node, err := Dial(addr, 3, []int{2})
 		if err != nil {
 			peerErr = err
 			return
