@@ -22,17 +22,21 @@ package main
 
 import (
 	"encoding/gob"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"govhdl/internal/circuits"
 	"govhdl/internal/faultinject"
 	"govhdl/internal/kernel"
 	"govhdl/internal/pdes"
+	"govhdl/internal/supervise"
 	"govhdl/internal/trace"
 	"govhdl/internal/transport"
 	"govhdl/internal/vhdl"
@@ -68,9 +72,16 @@ type runOpts struct {
 	ckptRounds int
 	restore    string
 
+	failover     bool
+	maxFailovers int
+	stallTimeout time.Duration
+	stallPolicy  string
+	memBudget    int64
+
 	faultSeed       int64
 	faultKillWrites int
 	faultDieSends   int
+	faultMuteSends  int
 
 	files []string
 }
@@ -104,9 +115,16 @@ func main() {
 	flag.IntVar(&o.ckptRounds, "checkpoint-rounds", 0, "committed GVT rounds between checkpoint cuts (default 1 when -checkpoint-file is set; pass the same value to every distributed process)")
 	flag.StringVar(&o.restore, "restore", "", "resume from a checkpoint file written by -checkpoint-file (every distributed process needs the file)")
 
+	flag.BoolVar(&o.failover, "failover", false, "on a transport failure, automatically absorb the dead node's LPs and resume from the latest checkpoint (controller process only; needs checkpointing)")
+	flag.IntVar(&o.maxFailovers, "max-failovers", supervise.DefaultMaxFailovers, "give up after this many automatic failovers")
+	flag.DurationVar(&o.stallTimeout, "stall-timeout", 0, "fail (or rescue, see -stall-policy) the run if committed GVT does not advance for this long; 0 disables the watchdog")
+	flag.StringVar(&o.stallPolicy, "stall-policy", "fail", "stall remedy: fail (dump diagnostics and exit nonzero) or force-opt (force the blocked conservative LP optimistic, then fail if still stuck)")
+	flag.Int64Var(&o.memBudget, "mem-budget", 0, "bound tracked optimistic memory (events, snapshots, anti-message records) to this many bytes; 0 = unbounded")
+
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injection: PRNG seed (replayable schedules)")
 	flag.IntVar(&o.faultKillWrites, "fault-kill-writes", 0, "fault injection, distributed: hard-close this process's connection after N writes")
 	flag.IntVar(&o.faultDieSends, "fault-die-sends", 0, "fault injection, single-process: kill the fabric after N sends from any endpoint")
+	flag.IntVar(&o.faultMuteSends, "fault-mute-sends", 0, "fault injection, single-process: silently drop each endpoint's sends after its Nth (stalls the run without killing it)")
 	flag.Parse()
 	o.files = flag.Args()
 
@@ -114,6 +132,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pvsim:", err)
 		os.Exit(1)
 	}
+}
+
+// validateRunOpts rejects flag combinations whose semantics conflict,
+// before any expensive work happens. Callers must apply the
+// -checkpoint-file => -checkpoint-rounds default first.
+func validateRunOpts(o *runOpts, proto pdes.Protocol) error {
+	fault := o.faultKillWrites > 0 || o.faultDieSends > 0 || o.faultMuteSends > 0
+	if o.restore != "" && fault {
+		return fmt.Errorf("-restore cannot be combined with -fault-* flags: a restored run must replay the saved cut faithfully, not inject fresh faults")
+	}
+	if (o.faultDieSends > 0 || o.faultMuteSends > 0) && proto == pdes.ProtoSequential {
+		return fmt.Errorf("fabric fault injection needs a parallel protocol")
+	}
+	if o.failover {
+		if o.ckptRounds <= 0 {
+			return fmt.Errorf("-failover needs -checkpoint-rounds (or -checkpoint-file): recovery resumes from the latest GVT-consistent cut")
+		}
+		if o.connect != "" {
+			return fmt.Errorf("-failover belongs on the controller's process (the -listen hub or a single process), not on a -connect worker")
+		}
+		if proto == pdes.ProtoSequential {
+			return fmt.Errorf("-failover needs a parallel protocol")
+		}
+	}
+	if o.stallPolicy != "fail" && o.stallPolicy != "force-opt" {
+		return fmt.Errorf("-stall-policy must be \"fail\" or \"force-opt\", got %q", o.stallPolicy)
+	}
+	if o.stallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be >= 0 (0 disables the watchdog)")
+	}
+	if o.memBudget < 0 {
+		return fmt.Errorf("-mem-budget must be >= 0 (0 = unbounded)")
+	}
+	if (o.listen != "" || o.connect != "") && o.endpoints < 2 {
+		return fmt.Errorf("distributed mode needs -endpoints >= 2")
+	}
+	return nil
 }
 
 // checkpointFile is the on-disk restart image: the engine checkpoint plus
@@ -124,8 +179,11 @@ type checkpointFile struct {
 	Trace []trace.Entry
 }
 
-// writeCheckpointFile writes atomically (temp file + rename) so a crash
-// mid-write never destroys the previous good checkpoint.
+// writeCheckpointFile writes atomically: encode to a temp file, fsync it,
+// rename over the target, then fsync the parent directory so the rename
+// itself is durable. A crash at any step leaves either the previous good
+// checkpoint or the complete new one — never a torn file, and never a
+// directory entry pointing at unsynced data.
 func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -146,7 +204,26 @@ func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that refuse to sync directories (some network mounts) are
+// tolerated: the rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 func readCheckpointFile(path string) (*pdes.Checkpoint, []trace.Entry, error) {
@@ -260,88 +337,145 @@ func run(o runOpts) error {
 	distributed := o.listen != "" || o.connect != ""
 	hostsController := o.connect == "" // single-process, or the -listen hub
 
-	// Checkpoint/restore files carry gob-encoded event payloads and trace
-	// items; make sure every wire type is registered before touching them.
-	if o.ckptFile != "" || o.restore != "" {
-		transport.RegisterGob()
-	}
-
-	sys := design.Build()
-	rec := trace.NewRecorder()
-
 	if o.ckptFile != "" && o.ckptRounds <= 0 {
 		o.ckptRounds = 1
 	}
+	if err := validateRunOpts(&o, cfg.Protocol); err != nil {
+		return err
+	}
+	cfg.StallTimeout = o.stallTimeout
+	if o.stallPolicy == "force-opt" {
+		cfg.StallPolicy = pdes.StallForceOpt
+	}
+	cfg.StallDump = func(r *pdes.StallReport) { fmt.Fprint(os.Stderr, r.String()) }
+	cfg.MemBudget = o.memBudget
+
+	// Checkpoints (in-memory ones included) carry gob-encoded event payloads
+	// and trace items; make sure every wire type is registered first.
+	if o.ckptFile != "" || o.restore != "" || o.ckptRounds > 0 {
+		transport.RegisterGob()
+	}
+
 	if o.ckptRounds > 0 {
 		if cfg.Protocol == pdes.ProtoSequential {
 			return fmt.Errorf("-checkpoint-rounds needs a parallel protocol (the sequential kernel has no GVT rounds)")
 		}
 		cfg.CheckpointRounds = o.ckptRounds
-		if hostsController {
-			if o.ckptFile == "" {
-				return fmt.Errorf("-checkpoint-rounds needs -checkpoint-file on the controller process")
-			}
-			cfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
-				return writeCheckpointFile(o.ckptFile, ck, rec.Entries())
-			}
+		if hostsController && o.ckptFile == "" && !o.failover {
+			return fmt.Errorf("-checkpoint-rounds needs -checkpoint-file on the controller process (or -failover, which keeps cuts in memory)")
 		}
 	}
+	if distributed {
+		cfg.Workers = o.endpoints - 1
+	}
+
+	sup := &supervise.Supervisor{
+		MaxFailovers: o.maxFailovers,
+		OnFailover: func(attempt int, err error, ck *pdes.Checkpoint) {
+			if ck != nil {
+				fmt.Fprintf(os.Stderr, "pvsim: failover: attempt %d died (%v); absorbing all LPs locally from the checkpoint at GVT %v\n",
+					attempt, err, ck.GVT)
+			} else {
+				fmt.Fprintf(os.Stderr, "pvsim: failover: attempt %d died (%v) before the first checkpoint cut; restarting locally from scratch\n",
+					attempt, err)
+			}
+		},
+	}
 	if o.restore != "" {
-		ck, entries, err := readCheckpointFile(o.restore)
+		// The checkpoint carries the committed prefix as replayable per-LP
+		// logs: the restored run re-emits the full trace itself, so the
+		// recorder starts empty (and failover seeds from the same cut).
+		ck, _, err := readCheckpointFile(o.restore)
 		if err != nil {
 			return err
 		}
-		cfg.Restore = ck
-		if hostsController {
-			// The saved trace is replayed into the controller process's
-			// recorder only, so distributed traces are not duplicated.
-			rec.Preload(entries)
-		}
+		sup.Checkpoint(ck)
 		fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.restore, ck.GVT, ck.Round)
 	}
 
+	// Every attempt gets fresh model state and a fresh recorder: attempt 0
+	// is the primary (distributed or fault-injected) run, attempts >= 1 are
+	// failover recoveries that absorb every LP into this process.
+	var (
+		sys *pdes.System
+		rec *trace.Recorder
+	)
+	runAttempt := func(attempt int, restore *pdes.Checkpoint) (*pdes.Result, error) {
+		if attempt > 0 {
+			d, b, _, berr := buildDesign(true)
+			if berr != nil {
+				return nil, berr
+			}
+			design, bench = d, b
+		}
+		sys = design.Build()
+		rec = trace.NewRecorder()
+		acfg := cfg
+		acfg.Restore = restore
+		if acfg.CheckpointRounds > 0 && (hostsController || attempt > 0) {
+			acfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
+				sup.Checkpoint(ck)
+				if o.ckptFile != "" {
+					return writeCheckpointFile(o.ckptFile, ck, rec.Entries())
+				}
+				return nil
+			}
+		}
+		if attempt > 0 {
+			// Absorb run: same workers, same partition, same config — only
+			// the fabric changes, so the restored replay and the resumed
+			// run commit exactly what the dead cluster would have.
+			return pdes.RunOn(sys, acfg, until, rec, pdes.NewLocalFabric(acfg.Workers+1))
+		}
+		switch {
+		case distributed:
+			hosted, perr := parseInts(o.hosted)
+			if perr != nil || len(hosted) == 0 {
+				return nil, fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
+			}
+			topts := []transport.Option{transport.WithHeartbeat(o.hbInterval, o.hbTimeout)}
+			if o.faultKillWrites > 0 {
+				plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.faultKillWrites}
+				topts = append(topts, transport.WithConnWrapper(plan.Conn()))
+				fmt.Printf("fault injection: killing this process's connection after %d writes\n", o.faultKillWrites)
+			}
+			var node *transport.Node
+			var terr error
+			if o.listen != "" {
+				fmt.Printf("listening on %s for %d endpoints...\n", o.listen, o.endpoints)
+				node, terr = transport.Listen(o.listen, o.endpoints, hosted, topts...)
+			} else {
+				node, terr = transport.Dial(o.connect, o.endpoints, hosted, topts...)
+			}
+			if terr != nil {
+				return nil, terr
+			}
+			defer node.Close()
+			return pdes.RunOn(sys, acfg, until, rec, node.Endpoints())
+		case o.faultDieSends > 0 || o.faultMuteSends > 0:
+			plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.faultDieSends, MuteAfterSends: o.faultMuteSends}
+			eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(acfg.Workers+1), plan)
+			if o.faultDieSends > 0 {
+				fmt.Printf("fault injection: fabric dies after %d sends from any endpoint (seed %d)\n",
+					o.faultDieSends, o.faultSeed)
+			}
+			if o.faultMuteSends > 0 {
+				fmt.Printf("fault injection: each endpoint goes silent after %d sends (seed %d)\n",
+					o.faultMuteSends, o.faultSeed)
+			}
+			return pdes.RunOn(sys, acfg, until, rec, eps)
+		case cfg.Protocol == pdes.ProtoSequential:
+			return pdes.RunSequential(sys, until, rec)
+		default:
+			return pdes.Run(sys, acfg, until, rec)
+		}
+	}
+
 	var res *pdes.Result
-	switch {
-	case distributed:
-		hosted, perr := parseInts(o.hosted)
-		if perr != nil || len(hosted) == 0 {
-			return fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
-		}
-		if o.endpoints < 2 {
-			return fmt.Errorf("distributed mode needs -endpoints >= 2")
-		}
-		cfg.Workers = o.endpoints - 1
-		topts := []transport.Option{transport.WithHeartbeat(o.hbInterval, o.hbTimeout)}
-		if o.faultKillWrites > 0 {
-			plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.faultKillWrites}
-			topts = append(topts, transport.WithConnWrapper(plan.Conn()))
-			fmt.Printf("fault injection: killing this process's connection after %d writes\n", o.faultKillWrites)
-		}
-		var node *transport.Node
-		if o.listen != "" {
-			fmt.Printf("listening on %s for %d endpoints...\n", o.listen, o.endpoints)
-			node, err = transport.Listen(o.listen, o.endpoints, hosted, topts...)
-		} else {
-			node, err = transport.Dial(o.connect, o.endpoints, hosted, topts...)
-		}
-		if err != nil {
-			return err
-		}
-		defer node.Close()
-		res, err = pdes.RunOn(sys, cfg, until, rec, node.Endpoints())
-	case o.faultDieSends > 0:
-		if cfg.Protocol == pdes.ProtoSequential {
-			return fmt.Errorf("-fault-die-sends needs a parallel protocol")
-		}
-		plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.faultDieSends}
-		eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(cfg.Workers+1), plan)
-		fmt.Printf("fault injection: fabric dies after %d sends from any endpoint (seed %d)\n",
-			o.faultDieSends, o.faultSeed)
-		res, err = pdes.RunOn(sys, cfg, until, rec, eps)
-	case cfg.Protocol == pdes.ProtoSequential:
-		res, err = pdes.RunSequential(sys, until, rec)
-	default:
-		res, err = pdes.Run(sys, cfg, until, rec)
+	if o.failover {
+		res, err = sup.Run(runAttempt)
+	} else {
+		res, err = runAttempt(0, sup.Latest())
 	}
 	if err != nil {
 		return err
@@ -350,6 +484,9 @@ func run(o runOpts) error {
 	fmt.Printf("simulated to %v in %v (GVT %v)\n", until, res.Wall.Round(1e6), res.GVT)
 	if o.showStats {
 		fmt.Printf("metrics: %v\n", res.Metrics)
+		if o.memBudget > 0 {
+			fmt.Printf("memory: peak tracked optimistic bytes %d (budget %d)\n", res.MemPeak, o.memBudget)
+		}
 		if res.Makespan > 0 {
 			fmt.Printf("modeled makespan: %.0f cost units\n", res.Makespan)
 		}

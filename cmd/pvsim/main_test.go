@@ -1,8 +1,14 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
 	"govhdl/internal/vtime"
 )
 
@@ -60,5 +66,141 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run(runOpts{circuit: "fsm", protocol: "dyn", workers: 1, saveEvery: 1, restore: "/nonexistent/ck"}); err == nil {
 		t.Error("restore from a missing file accepted")
+	}
+}
+
+func TestValidateRunOpts(t *testing.T) {
+	// Baseline options that pass validation, mutated per case below.
+	base := func() runOpts {
+		return runOpts{stallPolicy: "fail"}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*runOpts)
+		proto   pdes.Protocol
+		wantErr string
+	}{
+		{"baseline ok", func(o *runOpts) {}, pdes.ProtoDynamic, ""},
+		{"restore with kill-writes", func(o *runOpts) {
+			o.restore = "ck"
+			o.faultKillWrites = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"restore with die-sends", func(o *runOpts) {
+			o.restore = "ck"
+			o.faultDieSends = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"restore with mute-sends", func(o *runOpts) {
+			o.restore = "ck"
+			o.faultMuteSends = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"fabric fault under seq", func(o *runOpts) {
+			o.faultDieSends = 10
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"failover without checkpointing", func(o *runOpts) {
+			o.failover = true
+		}, pdes.ProtoDynamic, "-failover needs -checkpoint-rounds"},
+		{"failover on a connect worker", func(o *runOpts) {
+			o.failover = true
+			o.ckptRounds = 1
+			o.connect = "host:1"
+			o.endpoints = 3
+		}, pdes.ProtoDynamic, "controller's process"},
+		{"failover under seq", func(o *runOpts) {
+			o.failover = true
+			o.ckptRounds = 1
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"failover ok", func(o *runOpts) {
+			o.failover = true
+			o.ckptRounds = 1
+		}, pdes.ProtoDynamic, ""},
+		{"bad stall policy", func(o *runOpts) {
+			o.stallPolicy = "panic"
+		}, pdes.ProtoDynamic, "-stall-policy"},
+		{"negative stall timeout", func(o *runOpts) {
+			o.stallTimeout = -time.Second
+		}, pdes.ProtoDynamic, "-stall-timeout"},
+		{"negative mem budget", func(o *runOpts) {
+			o.memBudget = -1
+		}, pdes.ProtoDynamic, "-mem-budget"},
+		{"distributed without endpoints", func(o *runOpts) {
+			o.listen = ":0"
+		}, pdes.ProtoDynamic, "-endpoints >= 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := base()
+			c.mutate(&o)
+			err := validateRunOpts(&o, c.proto)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestCheckpointFileAtomicity covers the crash window between writing the
+// temp file and renaming it: a leftover (even corrupt) .tmp must never be
+// read, the previous good checkpoint must survive, and the next successful
+// write must clean up and replace everything.
+func TestCheckpointFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ck")
+	tmp := path + ".tmp"
+
+	ckA := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 100}, Workers: 2, NumLPs: 4}
+	if err := writeCheckpointFile(path, ckA, nil); err != nil {
+		t.Fatalf("write A: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived a successful write: %v", err)
+	}
+	got, _, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("read A: %v", err)
+	}
+	if got.GVT != ckA.GVT {
+		t.Fatalf("read back GVT %v, want %v", got.GVT, ckA.GVT)
+	}
+
+	// Simulate a crash mid-write: garbage .tmp next to the good file.
+	if err := os.WriteFile(tmp, []byte("torn half-written checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = readCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("good checkpoint unreadable with a torn .tmp present: %v", err)
+	}
+	if got.GVT != ckA.GVT {
+		t.Fatalf("torn .tmp leaked into the read: GVT %v", got.GVT)
+	}
+
+	// The next write must supersede both the old image and the torn temp.
+	ckB := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 200}, Workers: 2, NumLPs: 4}
+	if err := writeCheckpointFile(path, ckB, []trace.Entry{{LP: 1, TS: vtime.VT{PT: 50}, Item: "x"}}); err != nil {
+		t.Fatalf("write B over torn tmp: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived write B: %v", err)
+	}
+	got, entries, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatalf("read B: %v", err)
+	}
+	if got.GVT != ckB.GVT || len(entries) != 1 {
+		t.Fatalf("read back GVT %v with %d entries, want %v with 1", got.GVT, len(entries), ckB.GVT)
+	}
+
+	// A corrupt main image must be diagnosed, not silently zero-valued.
+	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
+		t.Fatalf("corrupt file error = %v", err)
 	}
 }

@@ -54,6 +54,12 @@ type Plan struct {
 	// returns poison, simulating process death under the in-process
 	// fabric. 0 disables.
 	DieAfterSends int
+	// MuteAfterSends silently drops each endpoint's sends after its Nth,
+	// WITHOUT killing the fabric: receivers see silence, not poison. This
+	// is the wedged-peer failure mode the GVT stall watchdog exists for —
+	// every worker ends up blocked on messages that will never arrive.
+	// 0 disables.
+	MuteAfterSends int
 	// SendDelayProb delays each send with this probability by a uniform
 	// duration up to MaxSendDelay, reordering cross-worker arrival timing
 	// (never per-pair FIFO order, which the substrate guarantees).
@@ -195,8 +201,9 @@ func (e *faultEndpoint) tick(n int) (drop bool) {
 	e.mu.Lock()
 	e.sends += n
 	die := e.plan.DieAfterSends > 0 && e.sends > e.plan.DieAfterSends
+	mute := !die && e.plan.MuteAfterSends > 0 && e.sends > e.plan.MuteAfterSends
 	var delay time.Duration
-	if !die && e.plan.SendDelayProb > 0 && e.rng.Float64() < e.plan.SendDelayProb {
+	if !die && !mute && e.plan.SendDelayProb > 0 && e.rng.Float64() < e.plan.SendDelayProb {
 		delay = time.Duration(e.rng.Int63n(int64(e.plan.MaxSendDelay) + 1))
 	}
 	e.mu.Unlock()
@@ -204,6 +211,9 @@ func (e *faultEndpoint) tick(n int) (drop bool) {
 		e.inj.kill(fmt.Errorf("faultinject: endpoint %d died after %d sends (seed %d)",
 			e.Self(), e.plan.DieAfterSends, e.plan.Seed))
 		return true
+	}
+	if mute {
+		return true // blackhole: the fabric stays "alive" but this peer is silent
 	}
 	if delay > 0 {
 		time.Sleep(delay)

@@ -2,8 +2,10 @@ package faultinject
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -209,7 +211,9 @@ func TestInjectedDeathCheckpointRestore(t *testing.T) {
 	if res.GVT.Less(vtime.VT{PT: until}) {
 		t.Fatalf("restored run stopped at GVT %v, want >= %v", res.GVT, until)
 	}
-	got := sorted(snaps[last], sink2.snapshot())
+	// The restored run replays the committed prefix itself, so its sink
+	// alone must reproduce the uninterrupted trace byte-for-byte.
+	got := sorted(sink2.snapshot())
 	if len(got) != len(want) {
 		t.Fatalf("combined trace length mismatch: got %d, want %d", len(got), len(want))
 	}
@@ -217,5 +221,86 @@ func TestInjectedDeathCheckpointRestore(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("record %d differs:\n  want: %s\n  got:  %s", i, want[i], got[i])
 		}
+	}
+}
+
+// TestMutedFabricTriggersStallWatchdog is the wedged-peer chaos scenario:
+// MuteAfterSends silences every endpoint past its Nth send without killing
+// the fabric, so no poison ever arrives and the run would otherwise hang
+// forever with every worker parked in Recv. The GVT stall watchdog must
+// diagnose it: a dump showing workers blocked on messages that never
+// arrived, and a non-transport failure (a failover retry would stall the
+// same way, so the error must not be classified recoverable).
+func TestMutedFabricTriggersStallWatchdog(t *testing.T) {
+	const (
+		nLPs    = 12
+		seed    = 5
+		until   = vtime.Time(4000)
+		workers = 4
+	)
+	plan := Plan{Seed: 11, MuteAfterSends: 200}
+	eps, inj := WrapFabric(pdes.NewLocalFabric(workers+1), plan)
+
+	var (
+		mu      sync.Mutex
+		reports []*pdes.StallReport
+	)
+	cfg := pdes.Config{
+		Workers:        workers,
+		Protocol:       pdes.ProtoOptimistic,
+		GVTEvery:       64,
+		ThrottleWindow: 100,
+		StallTimeout:   400 * time.Millisecond,
+		StallDump: func(r *pdes.StallReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+		},
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := pdes.RunOn(buildRing(nLPs, seed), cfg, until, nil, eps)
+		errCh <- err
+	}()
+	var runErr error
+	select {
+	case runErr = <-errCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("muted run hung despite the stall watchdog")
+	}
+	if runErr == nil {
+		t.Fatal("muted run completed; the mute never bit")
+	}
+	if !strings.Contains(runErr.Error(), "stall watchdog") {
+		t.Fatalf("unexpected error: %v", runErr)
+	}
+	var se *pdes.SimError
+	if !errors.As(runErr, &se) {
+		t.Fatalf("watchdog verdict is not a SimError: %v", runErr)
+	}
+	if se.Transport {
+		t.Error("stall verdict classified as transport failure; failover would retry it")
+	}
+	if inj.Err() != nil {
+		t.Fatalf("mute must not kill the fabric: %v", inj.Err())
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("no diagnostic dump produced")
+	}
+	r := reports[len(reports)-1]
+	if len(r.Workers) != workers {
+		t.Fatalf("dump covers %d workers, want %d", len(r.Workers), workers)
+	}
+	waiting := 0
+	for _, w := range r.Workers {
+		if w.Waiting {
+			waiting++
+		}
+	}
+	if waiting == 0 {
+		t.Errorf("no worker reported as parked in Recv:\n%s", r)
 	}
 }

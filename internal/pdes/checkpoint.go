@@ -23,12 +23,16 @@ import (
 // Model state is not serialized directly: kernel snapshots deliberately keep
 // their fields unexported (models own their representation), so a checkpoint
 // instead records each LP's *committed event log* and rebuilds state on
-// restore by replaying it against a freshly initialized model with sends and
-// trace records suppressed — the same coast-forward mechanism rollback uses.
-// This is sound because the deterministic core guarantees Execute is a pure
-// function of (model state, event): the repository's govhdlvet analyzers
-// machine-check that no wall-clock reads, PRNG draws or map-iteration order
-// can leak into an execution.
+// restore by replaying it against a freshly initialized model with sends
+// suppressed — the same coast-forward mechanism rollback uses. Trace records
+// are NOT suppressed during the replay: re-committing them rebuilds the full
+// trace from t=0 inside the restored run itself, so a restore (or an
+// automatic failover absorbing a dead node's LPs) reproduces the
+// uninterrupted run's trace byte-identically without carrying the old trace
+// out of band. This is sound because the deterministic core guarantees
+// Execute is a pure function of (model state, event): the repository's
+// govhdlvet analyzers machine-check that no wall-clock reads, PRNG draws or
+// map-iteration order can leak into an execution.
 
 // checkpointFormat versions the gob blob layout.
 const checkpointFormat = 1
@@ -117,7 +121,8 @@ type ckptLP struct {
 	Now   vtime.VT
 	Floor vtime.VT
 	// Log is the LP's committed executions since t=0 in execution order;
-	// restore replays it (suppressed) to rebuild the model state.
+	// restore replays it (sends suppressed, trace records re-committed) to
+	// rebuild the model state and the committed trace.
 	Log []ckptEvent
 	// Pending are the unprocessed events at the cut (all at or above GVT).
 	Pending []ckptEvent
@@ -186,7 +191,8 @@ func (w *worker) checkpointBlob() ([]byte, error) {
 
 // applyRestore rebuilds the worker from its checkpoint blob instead of
 // initializing LPs from scratch. Model state is reconstructed by running Init
-// and replaying the committed log with sends and records suppressed; pending
+// and replaying the committed log with sends suppressed; the replay's trace
+// records are committed to the sink, rebuilding the trace from t=0. Pending
 // events, channel clocks and counters are installed directly.
 func (w *worker) applyRestore() {
 	blob := w.restore.Blobs[w.ep.Self()]
@@ -212,9 +218,12 @@ func (w *worker) applyRestore() {
 			w.fatal("pdes: restore worker %d: blob LP %d is not owned here", w.ep.Self(), cl.ID)
 		}
 		// Rebuild model state: Init, then coast-forward through the
-		// committed log. Suppression makes both side-effect free.
-		savedSup := w.suppress
-		w.suppress = true
+		// committed log. Sends are suppressed (already delivered before the
+		// cut); records flow to the sink (curRec is nil at startup, so each
+		// recordItem commits directly), restoring the trace alongside the
+		// state.
+		savedSends := w.supSends
+		w.supSends = true
 		if im, ok := lp.model.(InitModel); ok {
 			w.ctx.self, w.ctx.now = lp.decl.id, vtime.Zero
 			im.Init(w.ctx)
@@ -226,7 +235,7 @@ func (w *worker) applyRestore() {
 			lp.model.Execute(w.ctx, ev)
 			w.metrics.CoastForward.Add(1)
 		}
-		w.suppress = savedSup
+		w.supSends = savedSends
 
 		lp.now, lp.floor = cl.Now, cl.Floor
 		if w.logCommits {

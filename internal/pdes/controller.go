@@ -16,7 +16,9 @@ type controller struct {
 	horizon vtime.VT
 	workers int // worker endpoints are 1..workers
 	metrics *stats.Metrics
-	modes   []Mode // authoritative mode table
+	modes   []Mode  // authoritative mode table
+	sys     *System // for forced-mode declarations (stall rescue skips them)
+	rs      *runState
 
 	gvt        vtime.VT
 	finalClock float64
@@ -30,9 +32,10 @@ type controller struct {
 	// Per-round scratch and message pool: the round protocol gives the
 	// controller exclusive use of these between a broadcast and the last
 	// reply, so they are reused instead of reallocated every round.
-	acks   []*Msg
-	expect []uint64
-	msgs   msgPool
+	acks    []*Msg
+	expect  []uint64
+	msgs    msgPool
+	blocked []BlockedLP // blocked conservative LPs reported in this round's acks
 }
 
 func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, metrics *stats.Metrics) *controller {
@@ -153,8 +156,11 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		expect[i] = 0
 	}
 	var consLPs, optLPs []LPID
+	c.blocked = c.blocked[:0]
 	for w := 1; w <= c.workers; w++ {
 		a := acks[w]
+		// Copy blocked reports out of the ack before it is recycled.
+		c.blocked = append(c.blocked, a.Blocked...)
 		// Null messages count as progress: under user-consistent
 		// conservative ordering, channel-clock promises may need several
 		// propagation hops (and several rounds) before any event becomes
@@ -225,7 +231,29 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	c.gvt = gvt
 	isDone := !gvt.Less(c.horizon)
 
-	if !isDone && stallCandidate && c.rounds > 0 && gvt == c.prevGVT && totalProcessed == c.prevProcessed {
+	if c.rs != nil && (c.prevGVT.Less(gvt) || totalProcessed != c.prevProcessed) {
+		// Progress for the stall watchdog: GVT advanced, or events/nulls were
+		// processed beneath an unmoved GVT (still healthy).
+		c.rs.progress.Add(1)
+	}
+
+	deadlocked := !isDone && stallCandidate && c.rounds > 0 && gvt == c.prevGVT && totalProcessed == c.prevProcessed
+	rescueAsked := c.rs != nil && c.rs.takeForceOpt()
+	if (deadlocked || rescueAsked) && !isDone && c.cfg.StallPolicy == StallForceOpt {
+		// The self-adaptive escape hatch: instead of aborting, force the
+		// blocked conservative LP with the earliest withheld event into
+		// optimistic mode. Each rescue unblocks at least that LP, and there
+		// are finitely many conservative LPs, so repeated stalls terminate —
+		// either the run completes or nothing rescuable remains and the
+		// deadlock falls through to the failure path below.
+		if lp, ok := c.pickRescue(); ok {
+			c.modes[lp] = Optimistic
+			optLPs = append(optLPs, lp)
+			c.metrics.StallRescues.Add(1)
+			deadlocked = false
+		}
+	}
+	if deadlocked {
 		c.abort(&SimError{Text: "pdes: deadlock: all workers idle, GVT stuck at " + gvt.String() +
 			" (user-consistent conservative ordering without lookahead blocks, per the paper)"})
 		return false, true
@@ -354,6 +382,25 @@ func (c *controller) checkpointRound(gvt vtime.VT) (stopped bool) {
 		c.ep.Send(w, m)
 	}
 	return false
+}
+
+// pickRescue chooses the stall-rescue victim from the round's blocked
+// reports: the blocked conservative LP with the earliest withheld timestamp
+// (ties broken by LP id, so the pick is deterministic regardless of ack
+// arrival order). Forced-mode LPs are never adapted — the paper's heavy-state
+// processes cannot save state, so they cannot run optimistically.
+func (c *controller) pickRescue() (LPID, bool) {
+	var best BlockedLP
+	found := false
+	for _, b := range c.blocked {
+		if c.modes[b.LP] != Conservative || c.sys.lps[b.LP].forced {
+			continue
+		}
+		if !found || b.TS.Less(best.TS) || (b.TS == best.TS && b.LP < best.LP) {
+			best, found = b, true
+		}
+	}
+	return best.LP, found
 }
 
 func (c *controller) abort(err *SimError) {

@@ -24,6 +24,13 @@ type Endpoint interface {
 	Recv() *Msg
 	// TryRecv returns a message if one is immediately available.
 	TryRecv() (*Msg, bool)
+	// Poison marks the substrate dead with err: every locally hosted
+	// endpoint's Recv/TryRecv returns a fresh PoisonMsg(err) from now on,
+	// unwinding goroutines blocked mid-protocol. The first poison sticks.
+	Poison(err error)
+	// QueueLen reports the number of undelivered messages waiting at this
+	// endpoint (diagnostics only; the value is immediately stale).
+	QueueLen() int
 }
 
 // mailbox is an unbounded MPSC queue. Unboundedness matters: with bounded
@@ -35,6 +42,10 @@ type mailbox struct {
 	queue  []*Msg
 	head   int
 	closed bool
+	// poison, once set, short-circuits take/tryTake: each call returns a
+	// fresh PoisonMsg so concurrent and repeated receives all observe death
+	// (poison messages are never recycled).
+	poison error
 }
 
 func newMailbox() *mailbox {
@@ -63,8 +74,14 @@ func (mb *mailbox) putAll(ms []*Msg) {
 func (mb *mailbox) take() *Msg {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	if mb.poison != nil {
+		return PoisonMsg(mb.poison)
+	}
 	for mb.head >= len(mb.queue) {
 		mb.cond.Wait()
+		if mb.poison != nil {
+			return PoisonMsg(mb.poison)
+		}
 	}
 	return mb.pop()
 }
@@ -72,10 +89,31 @@ func (mb *mailbox) take() *Msg {
 func (mb *mailbox) tryTake() (*Msg, bool) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	if mb.poison != nil {
+		return PoisonMsg(mb.poison), true
+	}
 	if mb.head >= len(mb.queue) {
 		return nil, false
 	}
 	return mb.pop(), true
+}
+
+// poisonWith makes the mailbox permanently return poison; the first error
+// sticks. Broadcast wakes every blocked taker.
+func (mb *mailbox) poisonWith(err error) {
+	mb.mu.Lock()
+	if mb.poison == nil {
+		mb.poison = err
+	}
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// depth reports the live queue length.
+func (mb *mailbox) depth() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue) - mb.head
 }
 
 // pop removes the head; caller holds mu. The backing slice is compacted
@@ -146,3 +184,12 @@ func (e *localEndpoint) SendBatch(dst int, ms []*Msg) {
 
 func (e *localEndpoint) Recv() *Msg            { return e.fabric.boxes[e.self].take() }
 func (e *localEndpoint) TryRecv() (*Msg, bool) { return e.fabric.boxes[e.self].tryTake() }
+func (e *localEndpoint) QueueLen() int         { return e.fabric.boxes[e.self].depth() }
+
+// Poison kills the whole local fabric: every endpoint of this process starts
+// returning poison, matching the PoisonMsg contract for a dead substrate.
+func (e *localEndpoint) Poison(err error) {
+	for _, mb := range e.fabric.boxes {
+		mb.poisonWith(err)
+	}
+}

@@ -112,6 +112,10 @@ type Msg struct {
 	Blob      []byte     // msgCkptState: gob-encoded worker snapshot
 	Err       *SimError  // msgFatal/msgStop/msgPoison: fatal error, if any
 	Modes     []ModePair // msgGVTAck: mode switches requested by this worker
+	// Blocked lists the conservative LPs that were blocked at the pause
+	// (pending events, none safe), for the controller's stall-rescue pick.
+	// Collected only when Config.StallPolicy is StallForceOpt.
+	Blocked []BlockedLP // msgGVTAck
 }
 
 // PoisonMsg builds the message a failing message substrate injects into every
@@ -124,7 +128,9 @@ type Msg struct {
 func PoisonMsg(err error) *Msg {
 	se, ok := err.(*SimError)
 	if !ok {
-		se = &SimError{Text: "pdes: transport failure: " + err.Error()}
+		// A substrate failure is environmental, not a simulation bug: mark it
+		// recoverable so a supervisor may restart from a checkpoint.
+		se = &SimError{Text: "pdes: transport failure: " + err.Error(), Transport: true}
 	}
 	return &Msg{Kind: msgPoison, Err: se}
 }
@@ -135,9 +141,21 @@ type ModePair struct {
 	Mode Mode
 }
 
+// BlockedLP identifies a blocked conservative LP and the timestamp of its
+// earliest withheld event, reported in GVT acks for stall rescue.
+type BlockedLP struct {
+	LP LPID
+	TS vtime.VT
+}
+
 // SimError is a fatal simulation error that must cross worker boundaries.
 type SimError struct {
 	Text string
+	// Transport marks failures of the message substrate (connection death,
+	// heartbeat timeout, injected fabric kill) rather than of the simulation
+	// itself. Only transport failures are worth retrying from a checkpoint:
+	// a deterministic engine reproduces any other error identically.
+	Transport bool
 }
 
 func (e *SimError) Error() string { return e.Text }

@@ -33,6 +33,7 @@ package pdes
 
 import (
 	"fmt"
+	"time"
 
 	"govhdl/internal/stats"
 	"govhdl/internal/vtime"
@@ -173,6 +174,31 @@ type Config struct {
 	// opportunities switches to optimistic. Default 0.7.
 	AdaptBlockedHi float64
 
+	// StallTimeout, when positive, arms the GVT stall watchdog: if the
+	// committed GVT does not advance for this long of wall-clock time, the
+	// watchdog collects a diagnostic StallReport (per-LP mode, local clock,
+	// blocked-on edge, mailbox depth), hands it to StallDump, and applies
+	// StallPolicy. The timeout must comfortably exceed the expected GVT round
+	// cadence; wall-clock supervision never influences the committed trace,
+	// only whether (and how) a wedged run is unwound.
+	StallTimeout time.Duration
+	// StallPolicy selects what happens when GVT stalls — both when the
+	// watchdog's wall-clock window expires and when the GVT controller's
+	// deadlock detector trips (all workers idle, two rounds, no progress).
+	StallPolicy StallPolicy
+	// StallDump receives the diagnostic report when the watchdog fires.
+	// Nil discards the report (the run still fails or rescues per policy).
+	StallDump func(*StallReport)
+
+	// MemBudget, when positive, bounds the approximate bytes of optimistic
+	// runtime memory — retained history events, saved state snapshots and
+	// anti-message send records — tracked across all workers of this process.
+	// Over budget, speculation beyond GVT is paused (backpressure) and GVT
+	// rounds roll back the furthest-ahead optimistic LPs until the tracked
+	// total fits again (cancelback). Events at or below GVT always execute,
+	// so a budgeted run still terminates; the committed trace is unchanged.
+	MemBudget int64
+
 	// CheckpointRounds, when positive, turns every Nth committed GVT round
 	// into a run-level checkpoint cut: workers commit everything at or below
 	// the new GVT, drain in-flight messages, and serialize their state so
@@ -213,6 +239,15 @@ func (c *Config) fillDefaults() {
 
 // Validate reports configurations that cannot run correctly.
 func (c *Config) Validate() error {
+	if c.MemBudget < 0 {
+		return fmt.Errorf("pdes: MemBudget %d is negative; use 0 for unbounded optimism", c.MemBudget)
+	}
+	if c.StallTimeout < 0 {
+		return fmt.Errorf("pdes: StallTimeout %v is negative; use 0 to disable the stall watchdog", c.StallTimeout)
+	}
+	if c.StallPolicy > StallForceOpt {
+		return fmt.Errorf("pdes: unknown StallPolicy %d", c.StallPolicy)
+	}
 	// vtime.Time is unsigned, so a negative window written by the caller
 	// arrives here as a huge value. Anything strictly above half the range
 	// can only be a cast negative (the ablations use exactly half the range

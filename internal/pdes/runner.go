@@ -92,6 +92,7 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 		}
 	}
 
+	rs := &runState{}
 	var workers []*worker
 	var ctrl *controller
 	for _, ep := range eps {
@@ -99,10 +100,20 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 			ctrlModes := make([]Mode, len(modes))
 			copy(ctrlModes, modes)
 			ctrl = newController(ep, &cfg, horizon, ctrlModes, metrics)
+			ctrl.sys = sys
+			ctrl.rs = rs
 			continue
 		}
 		wi := ep.Self() - 1
-		workers = append(workers, newWorker(ep, sys, &cfg, horizon, owner, owned[wi], modes, metrics, sink))
+		w := newWorker(ep, sys, &cfg, horizon, owner, owned[wi], modes, metrics, sink)
+		w.rs = rs
+		w.memTrack = cfg.MemBudget > 0
+		workers = append(workers, w)
+	}
+
+	var stopWatchdog func()
+	if cfg.StallTimeout > 0 {
+		stopWatchdog = startWatchdog(rs, &cfg, workers, eps)
 	}
 
 	start := time.Now()
@@ -123,6 +134,9 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if stopWatchdog != nil {
+		stopWatchdog()
+	}
 
 	if ctrl != nil && ctrl.err != nil {
 		return nil, ctrl.err
@@ -130,6 +144,7 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 	res := &Result{
 		Metrics: metrics.Snapshot(),
 		Wall:    wall,
+		MemPeak: rs.memPeak.Load(),
 	}
 	if ctrl != nil {
 		res.GVT = ctrl.gvt

@@ -13,6 +13,10 @@ type procRec struct {
 	state any       // model snapshot taken before executing ev; nil between checkpoints
 	sends []antiRec // events emitted while executing ev (for anti-messages)
 	recs  []any     // trace records emitted while executing ev
+	// mem is the Config.MemBudget charge taken for this record (record +
+	// snapshot + send records); credited back when the record is destroyed
+	// (commit, fossil collection or rollback). Zero when no budget is set.
+	mem int64
 }
 
 // edgeIn is the receiver-side state of one static input edge.
@@ -46,6 +50,10 @@ type lpRT struct {
 	lastSnap  any
 	lastVer   uint64
 
+	// snapBytes is the MemBudget charge for one real state snapshot of this
+	// LP's model (MemSizedModel if implemented, else memSnapDefault).
+	snapBytes int64
+
 	lastPromise []vtime.VT // per out-edge (parallel to decl.out): last null promise
 
 	// commitLog records every committed execution by value (checkpoint
@@ -72,6 +80,12 @@ func newLPRT(d *lpDecl, mode Mode) *lpRT {
 	}
 	if vm, ok := d.model.(VersionedModel); ok {
 		lp.versioned = vm
+	}
+	lp.snapBytes = memSnapDefault
+	if sm, ok := d.model.(MemSizedModel); ok {
+		if n := sm.SnapshotBytes(); n > 0 {
+			lp.snapBytes = int64(n)
+		}
 	}
 	lp.edges = make([]edgeIn, len(d.in))
 	for i, src := range d.in {

@@ -23,6 +23,9 @@ type Result struct {
 	WorkerClocks []float64
 	// Wall is the host wall-clock duration of the run.
 	Wall time.Duration
+	// MemPeak is the high-water mark of tracked optimistic memory in bytes
+	// (Config.MemBudget runs only; 0 otherwise).
+	MemPeak int64
 }
 
 // RunSequential simulates the system on a single event heap with no

@@ -1,0 +1,265 @@
+package pdes
+
+// Run-level supervision: the GVT stall watchdog and the shared accounting
+// that the memory budget and the watchdog hang off.
+//
+// This file is the only place in the engine that reads the wall clock (it is
+// allowlisted for the nondeterminism analyzer, like runner.go): supervision
+// observes progress and memory, and may unwind or rescue a wedged run, but it
+// never feeds wall-clock values into event processing — the committed trace
+// of a run that completes is identical with or without a watchdog.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"govhdl/internal/vtime"
+)
+
+// StallPolicy selects the remedy when committed GVT stops advancing.
+type StallPolicy uint8
+
+const (
+	// StallFail dumps the diagnostic report and fails the run with a
+	// SimError (the default).
+	StallFail StallPolicy = iota
+	// StallForceOpt first tries the paper's self-adaptive escape hatch:
+	// force the blocked conservative LP with the earliest withheld event
+	// into optimistic mode at the next GVT round, repeatedly if needed.
+	// Only if that produces no progress either does the run fail with the
+	// dump. The same policy turns the controller's deadlock detector from
+	// an abort into a rescue.
+	StallForceOpt
+)
+
+func (p StallPolicy) String() string {
+	if p == StallForceOpt {
+		return "force-opt"
+	}
+	return "fail"
+}
+
+// Approximate per-object byte charges for Config.MemBudget accounting. They
+// deliberately over-approximate the struct sizes a little: the budget tracks
+// reclaimable optimistic memory, and the slack covers heap and slice
+// bookkeeping the runtime adds around each object.
+const (
+	// memPerRec covers one procRec plus the retained *Event it anchors.
+	memPerRec = 192
+	// memPerSend covers one antiRec send record.
+	memPerSend = 48
+	// memSnapDefault is charged per real state snapshot for models that do
+	// not implement MemSizedModel.
+	memSnapDefault = 256
+	// memSnapShared is charged when copy-on-write state saving reuses the
+	// previous snapshot: only a reference is retained.
+	memSnapShared = 16
+)
+
+// runState is shared by the workers, the controller and the watchdog of one
+// RunOn call: progress and memory accounting, plus the watchdog's requests.
+// In distributed mode each process has its own runState; GVT advancement is
+// observed by every process (workers bump progress when a broadcast raises
+// their GVT), so each process's watchdog supervises independently.
+type runState struct {
+	// progress counts committed-GVT advancements; the watchdog only ever
+	// compares successive values.
+	progress atomic.Uint64
+	// dumpEpoch asks workers to refresh their diagnostic snapshots: a worker
+	// publishes when its local epoch lags, so a wedged worker is visible as
+	// a stale snapshot rather than a blocked collection.
+	dumpEpoch atomic.Uint32
+	// forceOpt is the watchdog's pending rescue request, consumed by the
+	// controller at its next GVT round.
+	forceOpt atomic.Bool
+	// memUsed/memPeak track Config.MemBudget bytes (see worker.memAdd).
+	memUsed atomic.Int64
+	memPeak atomic.Int64
+}
+
+// takeForceOpt consumes a pending rescue request.
+func (rs *runState) takeForceOpt() bool { return rs.forceOpt.CompareAndSwap(true, false) }
+
+// LPDiag is one LP's entry in a stall report.
+type LPDiag struct {
+	LP         LPID
+	Name       string
+	Mode       Mode
+	Now        vtime.VT // local virtual clock (last processed timestamp)
+	Pending    int      // unprocessed events queued at the LP
+	MinPending vtime.VT // earliest unprocessed timestamp (vtime.Inf when none)
+	Guarantee  vtime.VT // earliest timestamp that could still arrive
+	// BlockedOn names the in-edge bounding the guarantee when the LP is
+	// conservative, has pending events and none are safe; NoLP otherwise.
+	BlockedOn LPID
+}
+
+// WorkerDiag is one worker's entry in a stall report.
+type WorkerDiag struct {
+	Worker       int
+	GVT          vtime.VT // last committed GVT this worker observed
+	Paused       bool     // inside a GVT/checkpoint round at publish time
+	Waiting      bool     // parked in a blocking Recv (snapshot is pre-block state)
+	ExecTotal    uint64   // events executed so far
+	MailboxDepth int      // messages waiting in the worker's endpoint
+	// Stale marks a snapshot the worker failed to refresh for the report.
+	// Combined with !Waiting it means the worker is likely wedged inside a
+	// model Execute call; a Waiting worker's snapshot is simply its
+	// (accurate) pre-block state.
+	Stale bool
+	LPs   []LPDiag
+}
+
+// StallReport is the diagnostic snapshot the watchdog assembles when GVT
+// fails to advance within Config.StallTimeout.
+type StallReport struct {
+	GVT     vtime.VT      // last GVT this process observed
+	Elapsed time.Duration // wall-clock time since the last advancement
+	MemUsed int64         // tracked optimistic bytes (MemBudget runs only)
+	Rescued bool          // a force-opt rescue was attempted before this dump
+	Workers []WorkerDiag
+}
+
+// String renders the report for a terminal dump.
+func (r *StallReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall watchdog: committed GVT stuck at %v for %v\n", r.GVT, r.Elapsed.Round(time.Millisecond))
+	if r.MemUsed > 0 {
+		fmt.Fprintf(&b, "  tracked optimistic memory: %d bytes\n", r.MemUsed)
+	}
+	if r.Rescued {
+		b.WriteString("  force-opt rescue was attempted without effect\n")
+	}
+	for i := range r.Workers {
+		w := &r.Workers[i]
+		state := "running"
+		if w.Paused {
+			state = "paused (mid GVT/checkpoint round)"
+		}
+		if w.Waiting {
+			state += ", blocked in Recv (waiting for messages that never arrived)"
+		} else if w.Stale {
+			state += ", UNRESPONSIVE (snapshot is stale; worker may be wedged in Execute)"
+		}
+		fmt.Fprintf(&b, "  worker %d: %s, %d events executed, mailbox depth %d\n",
+			w.Worker, state, w.ExecTotal, w.MailboxDepth)
+		for j := range w.LPs {
+			lp := &w.LPs[j]
+			fmt.Fprintf(&b, "    %-16s %-12v now=%v pending=%d", lp.Name, lp.Mode, lp.Now, lp.Pending)
+			if lp.Pending > 0 {
+				fmt.Fprintf(&b, " min=%v guarantee=%v", lp.MinPending, lp.Guarantee)
+			}
+			if lp.BlockedOn != NoLP {
+				fmt.Fprintf(&b, " blocked-on=LP%d", lp.BlockedOn)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// watchdog supervises one RunOn call from its own goroutine.
+type watchdog struct {
+	rs      *runState
+	cfg     *Config
+	workers []*worker
+	eps     []Endpoint
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// startWatchdog arms the stall watchdog. The returned function stops it and
+// waits for its goroutine; RunOn calls it once the run has unwound.
+func startWatchdog(rs *runState, cfg *Config, workers []*worker, eps []Endpoint) func() {
+	wd := &watchdog{
+		rs:      rs,
+		cfg:     cfg,
+		workers: workers,
+		eps:     eps,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go wd.run()
+	return func() {
+		close(wd.stop)
+		<-wd.done
+	}
+}
+
+func (wd *watchdog) run() {
+	defer close(wd.done)
+	timeout := wd.cfg.StallTimeout
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	last := wd.rs.progress.Load()
+	lastAdvance := time.Now()
+	rescued := false
+	for {
+		select {
+		case <-wd.stop:
+			return
+		case <-t.C:
+		}
+		if p := wd.rs.progress.Load(); p != last {
+			last, lastAdvance, rescued = p, time.Now(), false
+			t.Reset(timeout)
+			continue
+		}
+		report := wd.collect(time.Since(lastAdvance), rescued)
+		if wd.cfg.StallPolicy == StallForceOpt && !rescued {
+			// Ask the controller to force the most-starved blocked
+			// conservative LP optimistic at its next round, then watch for
+			// one more window before declaring the run wedged. The request
+			// only helps if rounds still complete; a run wedged mid-round
+			// falls through to the failure path on the next expiry.
+			rescued = true
+			wd.rs.forceOpt.Store(true)
+			if wd.cfg.StallDump != nil {
+				wd.cfg.StallDump(report)
+			}
+			t.Reset(timeout)
+			continue
+		}
+		if wd.cfg.StallDump != nil {
+			wd.cfg.StallDump(report)
+		}
+		err := &SimError{Text: fmt.Sprintf(
+			"pdes: stall watchdog: committed GVT did not advance for %v (policy %v); see the diagnostic dump",
+			report.Elapsed.Round(time.Millisecond), wd.cfg.StallPolicy)}
+		for _, ep := range wd.eps {
+			ep.Poison(err)
+		}
+		return
+	}
+}
+
+// collect gathers the diagnostic snapshot: it bumps the dump epoch, grants
+// the workers a grace period to publish fresh state, then copies whatever
+// each worker managed to publish (stale snapshots are flagged, not waited
+// for — a wedged worker is precisely what the report must be able to show).
+func (wd *watchdog) collect(elapsed time.Duration, rescued bool) *StallReport {
+	epoch := wd.rs.dumpEpoch.Add(1)
+	grace := wd.cfg.StallTimeout / 4
+	if grace > 250*time.Millisecond {
+		grace = 250 * time.Millisecond
+	}
+	if grace > 0 {
+		select {
+		case <-time.After(grace):
+		case <-wd.stop:
+		}
+	}
+	r := &StallReport{Elapsed: elapsed, MemUsed: wd.rs.memUsed.Load(), Rescued: rescued}
+	for _, w := range wd.workers {
+		d := w.copyDiag()
+		d.Stale = w.diagEpochSeen() != epoch
+		d.MailboxDepth = w.ep.QueueLen()
+		if r.GVT.Less(d.GVT) {
+			r.GVT = d.GVT
+		}
+		r.Workers = append(r.Workers, d)
+	}
+	return r
+}

@@ -1,0 +1,275 @@
+package pdes
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"govhdl/internal/vtime"
+)
+
+// TestStallRescueCompletesDeadlockedRun is TestDeadlockDetected with the
+// force-opt stall policy: instead of aborting, the controller's deadlock
+// detector forces the most-starved blocked conservative LP optimistic —
+// repeatedly if needed — and the run completes with the oracle trace. The
+// rescue rides the deterministic deadlock path, so no wall-clock watchdog
+// is involved and the test is exactly reproducible.
+func TestStallRescueCompletesDeadlockedRun(t *testing.T) {
+	want, _ := runOracle(t, 8, 2, 20)
+	sys, _ := buildRelayRing(8, 2, 20)
+	sink := &collector{}
+	res, err := runParallel(sys, Config{
+		Workers:     2,
+		Protocol:    ProtoConservative,
+		Ordering:    OrderUserConsistent,
+		GVTEvery:    64,
+		StallPolicy: StallForceOpt,
+	}, relayHorizon, sink)
+	if err != nil {
+		t.Fatalf("rescued run failed: %v", err)
+	}
+	if res.GVT.Less(vtime.VT{PT: relayHorizon}) {
+		t.Fatalf("rescued run stopped at GVT %v", res.GVT)
+	}
+	if res.Metrics.StallRescues == 0 {
+		t.Fatal("run completed without any stall rescue; the deadlock never happened?")
+	}
+	got := sink.sorted()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("rescued trace mismatch: got %d records, want %d", len(got), len(want))
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				t.Errorf("first diff at %d: got %q want %q", i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// TestStallRescueIsDeterministic re-runs the rescued configuration and
+// requires identical rescue counts: the escape hatch must not introduce
+// schedule-dependent behavior.
+func TestStallRescueIsDeterministic(t *testing.T) {
+	runOnce := func() (uint64, []string) {
+		sys, _ := buildRelayRing(8, 2, 20)
+		sink := &collector{}
+		res, err := runParallel(sys, Config{
+			Workers:     2,
+			Protocol:    ProtoConservative,
+			Ordering:    OrderUserConsistent,
+			GVTEvery:    64,
+			StallPolicy: StallForceOpt,
+		}, relayHorizon, sink)
+		if err != nil {
+			t.Fatalf("rescued run failed: %v", err)
+		}
+		return res.Metrics.StallRescues, sink.sorted()
+	}
+	r1, t1 := runOnce()
+	r2, t2 := runOnce()
+	if r1 != r2 {
+		t.Errorf("rescue counts differ across identical runs: %d vs %d", r1, r2)
+	}
+	if strings.Join(t1, "\n") != strings.Join(t2, "\n") {
+		t.Error("rescued traces differ across identical runs")
+	}
+}
+
+// wedge is a ping-pong model whose Execute call blocks at the Nth event
+// until released: the failure mode where a model (or foreign code under it)
+// hangs, which no amount of protocol-level progress detection can see. Only
+// the wall-clock watchdog can diagnose it.
+type wedge struct {
+	peer    LPID
+	count   int
+	wedgeAt int // block on the wedgeAt-th Execute (0 = never)
+	release chan struct{}
+}
+
+func (m *wedge) Init(ctx *Ctx) {
+	if m.wedgeAt > 0 {
+		ctx.Schedule(vtime.VT{PT: 1}, 0, 0)
+	}
+}
+
+func (m *wedge) Execute(ctx *Ctx, ev *Event) {
+	m.count++
+	if m.wedgeAt > 0 && m.count == m.wedgeAt {
+		<-m.release
+	}
+	ctx.Send(m.peer, vtime.VT{PT: ev.TS.PT + vtime.NS}, 0, 0)
+}
+
+func (m *wedge) SaveState() any     { return m.count }
+func (m *wedge) RestoreState(s any) { m.count = s.(int) }
+
+// TestWatchdogDiagnosesWedgedExecute wedges a model inside Execute and
+// checks the watchdog (a) fires with a non-transport SimError rather than
+// letting the run hang, and (b) flags the wedged worker as stale/unresponsive
+// in the dump while the healthy worker shows up as parked in Recv.
+func TestWatchdogDiagnosesWedgedExecute(t *testing.T) {
+	release := make(chan struct{})
+	sys := NewSystem()
+	m0 := &wedge{wedgeAt: 10, release: release}
+	m1 := &wedge{}
+	a := sys.AddLP("wedger", m0)
+	b := sys.AddLP("echo", m1)
+	m0.peer, m1.peer = b, a
+	sys.Connect(a, b)
+	sys.Connect(b, a)
+
+	var (
+		mu      sync.Mutex
+		reports []*StallReport
+	)
+	var once sync.Once
+	cfg := Config{
+		Workers:      2,
+		Protocol:     ProtoConservative,
+		GVTEvery:     8,
+		StallTimeout: 300 * time.Millisecond,
+		StallDump: func(r *StallReport) {
+			mu.Lock()
+			reports = append(reports, r)
+			mu.Unlock()
+			// Unwedge after the dump so the run can unwind; a real hang
+			// would keep the worker goroutine pinned forever.
+			once.Do(func() { close(release) })
+		},
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Run(sys, cfg, 1000*vtime.NS, nil)
+		errCh <- err
+	}()
+	var err error
+	select {
+	case err = <-errCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung despite the stall watchdog")
+	}
+	if err == nil {
+		t.Fatal("wedged run completed")
+	}
+	if !strings.Contains(err.Error(), "stall watchdog") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	var se *SimError
+	if !errors.As(err, &se) {
+		t.Fatalf("watchdog error is not a SimError: %v", err)
+	}
+	if se.Transport {
+		t.Error("watchdog verdict marked as transport failure; failover would retry a deterministic hang")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(reports) == 0 {
+		t.Fatal("no diagnostic dump produced")
+	}
+	r := reports[len(reports)-1]
+	if len(r.Workers) != 2 {
+		t.Fatalf("dump covers %d workers, want 2", len(r.Workers))
+	}
+	wedged := 0
+	for _, w := range r.Workers {
+		if w.Stale && !w.Waiting {
+			wedged++
+		}
+	}
+	if wedged == 0 {
+		t.Errorf("dump does not flag any worker as unresponsive:\n%s", r)
+	}
+	if s := r.String(); !strings.Contains(s, "UNRESPONSIVE") {
+		t.Errorf("rendered dump does not call out the wedged worker:\n%s", s)
+	}
+}
+
+// TestMemBudgetBoundsRollbackStorm drives an unthrottled optimistic run
+// (the rollback-storm regime) twice: unbounded to establish the natural
+// memory high-water mark, then with a budget a quarter of that. The bounded
+// run must stay under its budget, exercise backpressure or cancelback, and
+// still commit the oracle trace.
+func TestMemBudgetBoundsRollbackStorm(t *testing.T) {
+	want, _ := runOracle(t, 12, 3, 40)
+
+	storm := func(budget int64) *Result {
+		sys, _ := buildRelayRing(12, 3, 40)
+		sink := &collector{}
+		res, err := Run(sys, Config{
+			Workers:   4,
+			Protocol:  ProtoOptimistic,
+			GVTEvery:  256,
+			MemBudget: budget,
+		}, relayHorizon, sink)
+		if err != nil {
+			t.Fatalf("storm run (budget %d): %v", budget, err)
+		}
+		got := sink.sorted()
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("storm run (budget %d) trace mismatch: got %d records, want %d",
+				budget, len(got), len(want))
+		}
+		return res
+	}
+
+	unbounded := storm(0)
+	if unbounded.MemPeak != 0 {
+		t.Fatalf("unbounded run tracked memory (peak %d); accounting must be off without a budget", unbounded.MemPeak)
+	}
+
+	// Establish the natural peak with accounting on but the budget out of
+	// reach, then re-run with a quarter of it.
+	probe := storm(1 << 40)
+	if probe.MemPeak <= 0 {
+		t.Fatal("accounting run recorded no memory peak")
+	}
+	budget := probe.MemPeak / 4
+	if budget < memPerRec {
+		t.Skipf("natural peak %d too small to quarter meaningfully", probe.MemPeak)
+	}
+	bounded := storm(budget)
+	if bounded.MemPeak <= 0 {
+		t.Fatal("bounded run recorded no memory peak")
+	}
+	// The budget gates speculation beyond GVT; events at or below GVT are
+	// always admitted (withholding them could deadlock the run), so the peak
+	// may overshoot by the committed-but-unfossiled volume of one GVT
+	// window. Hold it to 25% headroom and well under the natural peak.
+	if limit := budget + budget/4; bounded.MemPeak > limit {
+		t.Errorf("bounded run peak %d exceeds budget %d by more than 25%% (natural peak %d)",
+			bounded.MemPeak, budget, probe.MemPeak)
+	}
+	if bounded.MemPeak >= probe.MemPeak/2 {
+		t.Errorf("bounded run peak %d not meaningfully below natural peak %d",
+			bounded.MemPeak, probe.MemPeak)
+	}
+	if bounded.Metrics.MemThrottled == 0 && bounded.Metrics.Cancelbacks == 0 {
+		t.Error("bounded run never throttled or cancelled back; the budget did nothing")
+	}
+}
+
+// TestMemBudgetDeterministic re-runs the bounded storm and requires an
+// identical committed trace: backpressure may reshape speculation, but it
+// must never leak into commit order.
+func TestMemBudgetDeterministic(t *testing.T) {
+	want, _ := runOracle(t, 12, 3, 40)
+	for i := 0; i < 2; i++ {
+		sys, _ := buildRelayRing(12, 3, 40)
+		sink := &collector{}
+		if _, err := Run(sys, Config{
+			Workers:   4,
+			Protocol:  ProtoOptimistic,
+			GVTEvery:  256,
+			MemBudget: 64 << 10,
+		}, relayHorizon, sink); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		got := sink.sorted()
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("run %d: bounded trace diverged from oracle", i)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package pdes
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"govhdl/internal/stats"
 	"govhdl/internal/vtime"
@@ -110,10 +112,16 @@ type worker struct {
 	// a rollback in progress.
 	localQ []*Event
 
-	seq      uint64
-	ctx      *Ctx
-	curRec   *procRec
-	suppress bool
+	seq    uint64
+	ctx    *Ctx
+	curRec *procRec
+	// supSends/supRecs suppress Ctx side effects during replay: rollback
+	// coast-forward suppresses both (sends were already made, records already
+	// retained); checkpoint restore suppresses sends only, so the replay
+	// RE-EMITS every committed trace record and the restored run's trace is
+	// complete from t=0 without carrying the old trace out of band.
+	supSends bool
+	supRecs  bool
 
 	// Zero-allocation hot path machinery (see pool.go for the ownership
 	// model): object pools for events and messages, per-destination send
@@ -135,6 +143,16 @@ type worker struct {
 	// rebuilds the worker from a prior cut instead of initializing LPs.
 	logCommits bool
 	restore    *Checkpoint
+
+	// Supervision (watchdog.go): rs is the run-wide shared state, set by the
+	// runner before the worker starts (nil in isolated unit tests); memTrack
+	// enables Config.MemBudget accounting. diag is the snapshot this worker
+	// publishes for stall reports whenever its diagEpoch lags rs.dumpEpoch.
+	rs        *runState
+	memTrack  bool
+	diagMu    sync.Mutex
+	diag      WorkerDiag
+	diagEpoch atomic.Uint32
 }
 
 type deferredMsg struct {
@@ -213,6 +231,7 @@ func (w *worker) run() {
 	w.ep.Send(0, &Msg{Kind: msgIdle, Idle: true})
 	const batch = 8
 	for {
+		w.publishDiag(false)
 		for {
 			m, ok := w.ep.TryRecv()
 			if !ok {
@@ -238,7 +257,14 @@ func (w *worker) run() {
 			m := w.msgPool.get()
 			m.Kind, m.Idle, m.Processed = msgIdle, true, w.execTotal
 			w.ep.Send(0, m)
-			if w.handle(w.ep.Recv()) {
+			// Force a fresh snapshot before parking: a worker blocked in
+			// Recv cannot answer a later dump request, so the published
+			// state (flagged Waiting) must already be current.
+			w.publishDiag(true)
+			w.setWaiting(true)
+			m = w.ep.Recv()
+			w.setWaiting(false)
+			if w.handle(m) {
 				return
 			}
 		} else if !w.requested && w.execTotal-w.execAtRound >= uint64(w.cfg.GVTEvery) {
@@ -345,6 +371,13 @@ func (w *worker) step() bool {
 			//govhdlvet:vtcompare ThrottleWindow bounds optimism by physical time alone; no lexicographic (PT, LT) ordering is implied, so comparing PT with a window offset is the intended semantics.
 		} else if w.cfg.ThrottleWindow > 0 && ts.PT > w.gvt.PT+w.cfg.ThrottleWindow {
 			continue // throttled; requeued at the next GVT advance
+		} else if w.memTrack && w.gvt.Less(ts) && w.rs.memUsed.Load() >= w.cfg.MemBudget {
+			// Over the memory budget: pause speculation. Only events strictly
+			// beyond GVT are withheld — committed-side work always proceeds, so
+			// a budgeted run cannot livelock; the backlog is requeued when the
+			// next GVT round advances (and cancelback reclaims history).
+			w.metrics.MemThrottled.Add(1)
+			continue
 		}
 		if w.user {
 			w.executeBatch(lp)
@@ -380,7 +413,7 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 		dbgID(w, "execute", ev, fmt.Sprintf("lp=%s mode=%v", w.sys.Name(lp.decl.id), lp.mode))
 	}
 	if lp.mode == Optimistic {
-		rec := procRec{ev: ev}
+		rec := procRec{ev: ev, mem: memPerRec}
 		if n := len(w.recSends) - 1; n >= 0 {
 			rec.sends = w.recSends[n]
 			w.recSends = w.recSends[:n]
@@ -390,7 +423,9 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 			w.recRecs = w.recRecs[:n]
 		}
 		if lp.sinceCkpt == 0 {
-			rec.state = w.snapshot(lp)
+			var snapMem int64
+			rec.state, snapMem = w.snapshot(lp)
+			rec.mem += snapMem
 		}
 		lp.sinceCkpt++
 		if lp.sinceCkpt >= w.cfg.CheckpointEvery {
@@ -402,9 +437,14 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 		// deliveries queue in localQ), so the element cannot move.
 		lp.processed = append(lp.processed, rec)
 		prev := w.curRec
-		w.curRec = &lp.processed[len(lp.processed)-1]
+		cur := &lp.processed[len(lp.processed)-1]
+		w.curRec = cur
 		lp.model.Execute(w.ctx, ev)
 		w.curRec = prev
+		// Charge once the record is final (emit added memPerSend per send);
+		// the matching credit is taken where records are destroyed: rollback,
+		// commit and fossil collection.
+		w.memAdd(cur.mem)
 	} else {
 		prev := w.curRec
 		w.curRec = nil
@@ -422,25 +462,43 @@ func (w *worker) execute(lp *lpRT, ev *Event) {
 	w.metrics.Events.Add(1)
 }
 
-// snapshot returns the model state to checkpoint, reusing the previous
-// snapshot when a VersionedModel reports its state unchanged since then.
-// Only real SaveState calls are counted and charged: a reused snapshot is
-// the whole point of copy-on-write state saving.
-func (w *worker) snapshot(lp *lpRT) any {
+// snapshot returns the model state to checkpoint and its MemBudget charge,
+// reusing the previous snapshot when a VersionedModel reports its state
+// unchanged since then. Only real SaveState calls are counted and charged at
+// full size (a reused snapshot retains just a reference): copy-on-write
+// state saving is the whole point.
+func (w *worker) snapshot(lp *lpRT) (any, int64) {
 	if lp.versioned != nil {
 		v := lp.versioned.StateVersion()
 		if lp.lastSnap != nil && v == lp.lastVer {
-			return lp.lastSnap
+			return lp.lastSnap, memSnapShared
 		}
 		s := lp.model.SaveState()
 		lp.lastSnap, lp.lastVer = s, v
 		w.metrics.StateSaves.Add(1)
 		w.clock += w.cfg.Costs.StateSaveCost
-		return s
+		return s, lp.snapBytes
 	}
 	w.metrics.StateSaves.Add(1)
 	w.clock += w.cfg.Costs.StateSaveCost
-	return lp.model.SaveState()
+	return lp.model.SaveState(), lp.snapBytes
+}
+
+// memAdd moves the tracked optimistic memory total by n bytes (MemBudget
+// runs only) and maintains the high-water mark.
+func (w *worker) memAdd(n int64) {
+	if !w.memTrack || n == 0 {
+		return
+	}
+	v := w.rs.memUsed.Add(n)
+	if n > 0 {
+		for {
+			p := w.rs.memPeak.Load()
+			if v <= p || w.rs.memPeak.CompareAndSwap(p, v) {
+				return
+			}
+		}
+	}
 }
 
 // executeBatch pops every pending event with the minimal timestamp, orders
@@ -464,7 +522,7 @@ func (w *worker) executeBatch(lp *lpRT) {
 // emit is Ctx's send hook: allocate an ID, remember the send for potential
 // cancellation (by value — the receiver owns the Event object), and deliver.
 func (w *worker) emit(dst LPID, ts vtime.VT, kind uint8, data any) {
-	if w.suppress {
+	if w.supSends {
 		return // coast-forward re-execution: sends already made
 	}
 	w.seq++
@@ -479,6 +537,7 @@ func (w *worker) emit(dst LPID, ts vtime.VT, kind uint8, data any) {
 	if w.curRec != nil {
 		w.curRec.sends = append(w.curRec.sends,
 			antiRec{id: e.ID, src: e.Src, dst: dst, ts: ts, kind: kind})
+		w.curRec.mem += memPerSend
 	}
 	if debugTraceID != 0 {
 		dbgID(w, "emit", e, fmt.Sprintf("src=%d dst=%d", e.Src, e.Dst))
@@ -559,7 +618,7 @@ func (w *worker) recycleRec(rec *procRec) {
 
 // recordItem is Ctx's trace hook.
 func (w *worker) recordItem(item any) {
-	if w.suppress {
+	if w.supRecs {
 		return
 	}
 	if w.curRec != nil {
@@ -695,8 +754,8 @@ func (w *worker) rollbackTo(lp *lpRT, i int) {
 	if i > j {
 		// Coast-forward: replay committed-side events without re-sending.
 		savedSelf, savedNow := w.ctx.self, w.ctx.now
-		savedRec, savedSup := w.curRec, w.suppress
-		w.curRec, w.suppress = nil, true
+		savedRec, savedSends, savedRecs := w.curRec, w.supSends, w.supRecs
+		w.curRec, w.supSends, w.supRecs = nil, true, true
 		for k := j; k < i; k++ {
 			rec := &lp.processed[k]
 			w.ctx.self, w.ctx.now = lp.decl.id, rec.ev.TS
@@ -704,8 +763,9 @@ func (w *worker) rollbackTo(lp *lpRT, i int) {
 			w.metrics.CoastForward.Add(1)
 		}
 		w.ctx.self, w.ctx.now = savedSelf, savedNow
-		w.curRec, w.suppress = savedRec, savedSup
+		w.curRec, w.supSends, w.supRecs = savedRec, savedSends, savedRecs
 	}
+	var freed int64
 	for k := i; k < n; k++ {
 		rec := &lp.processed[k]
 		for _, s := range rec.sends {
@@ -714,9 +774,11 @@ func (w *worker) rollbackTo(lp *lpRT, i int) {
 		dbgID(w, "unprocess", rec.ev, "")
 		// The event returns to pending — still owned here, not freed.
 		lp.pending.Push(rec.ev)
+		freed += rec.mem
 		w.recycleRec(rec)
 		lp.processed[k] = procRec{}
 	}
+	w.memAdd(-freed)
 	lp.processed = lp.processed[:i]
 	if i > 0 {
 		lp.now = lp.processed[i-1].ev.TS
@@ -788,6 +850,9 @@ func (w *worker) gvtParticipate() (done bool) {
 	ack.Modes = w.modeProposals()
 	ack.Processed = w.execTotal
 	ack.Nulls = w.nullsSent
+	if w.cfg.StallPolicy == StallForceOpt {
+		ack.Blocked = w.blockedLPs()
+	}
 	w.ep.Send(0, ack)
 	var expect uint64
 	haveExpect, minSent := false, false
@@ -801,7 +866,12 @@ func (w *worker) gvtParticipate() (done bool) {
 			w.ep.Send(0, mm)
 			minSent = true
 		}
+		// Rounds block in Recv too (and a wedged peer can park us here
+		// forever), so publish fresh state before every round receive.
+		w.publishDiag(true)
+		w.setWaiting(true)
 		m := w.ep.Recv()
+		w.setWaiting(false)
 		switch m.Kind {
 		case msgEvent:
 			w.recvd++
@@ -874,6 +944,11 @@ func (w *worker) localMin() vtime.VT {
 // applyGVTNew installs the new GVT: clock barrier, mode switches, fossil
 // collection, adaptation-window reset and re-scheduling.
 func (w *worker) applyGVTNew(m *Msg) bool {
+	if w.rs != nil && w.gvt.Less(m.GVT) {
+		// Committed progress; feeds the stall watchdog (of every process, in
+		// distributed mode: the broadcast reaches all workers).
+		w.rs.progress.Add(1)
+	}
 	w.gvt = m.GVT
 	if w.clock < m.Clock {
 		w.clock = m.Clock
@@ -913,6 +988,9 @@ func (w *worker) applyGVTNew(m *Msg) bool {
 		if !m.Done && w.cfg.Lookahead && lp.mode == Conservative {
 			w.sendNulls(lp)
 		}
+	}
+	if w.memTrack && !m.Done {
+		w.cancelback()
 	}
 	w.execAtRound = w.execTotal
 	w.requested = false
@@ -973,6 +1051,7 @@ func (w *worker) switchToOpt(lp *lpRT) {
 // committed record: anti timestamps are strictly above the GVT that
 // committed it).
 func (w *worker) commitHistory(lp *lpRT) {
+	var freed int64
 	for k := range lp.processed {
 		rec := &lp.processed[k]
 		dbgID(w, "commitHistory", rec.ev, "")
@@ -983,9 +1062,11 @@ func (w *worker) commitHistory(lp *lpRT) {
 		}
 		w.logCommit(lp, rec.ev)
 		w.evPool.put(rec.ev)
+		freed += rec.mem
 		w.recycleRec(rec)
 		lp.processed[k] = procRec{}
 	}
+	w.memAdd(-freed)
 	w.metrics.Fossils.Add(uint64(len(lp.processed)))
 	lp.processed = lp.processed[:0]
 	lp.floor = lp.now
@@ -1013,6 +1094,7 @@ func (w *worker) fossil(lp *lpRT, done bool) {
 	}
 	// Read the new floor before recycling the records that define it.
 	floor := lp.processed[j-1].ev.TS
+	var freed int64
 	for i := 0; i < j; i++ {
 		rec := &lp.processed[i]
 		dbgID(w, "fossilCommit", rec.ev, "")
@@ -1023,8 +1105,10 @@ func (w *worker) fossil(lp *lpRT, done bool) {
 		}
 		w.logCommit(lp, rec.ev)
 		w.evPool.put(rec.ev)
+		freed += rec.mem
 		w.recycleRec(rec)
 	}
+	w.memAdd(-freed)
 	lp.floor = floor
 	w.metrics.Fossils.Add(uint64(j))
 	// Compact in place: the history tail keeps its backing array instead of
@@ -1062,3 +1146,142 @@ func (w *worker) modeProposals() []ModePair {
 	}
 	return props
 }
+
+// cancelback reclaims optimistic memory after a GVT advance when the run is
+// over its Config.MemBudget: repeatedly roll the furthest-ahead optimistic LP
+// back to the committed GVT (Jefferson's cancelback, implemented as a
+// self-rollback) until the tracked total fits or nothing speculative remains.
+// Only uncommitted work is discarded, so the committed trace is untouched;
+// the freed events return to pending and re-execute once memory allows.
+func (w *worker) cancelback() {
+	for w.rs.memUsed.Load() > w.cfg.MemBudget {
+		var victim *lpRT
+		vIdx := 0
+		for _, lp := range w.owned {
+			if lp.mode != Optimistic || len(lp.processed) == 0 {
+				continue
+			}
+			i := lp.rollbackIndex(w.gvt, w.user)
+			if i >= len(lp.processed) {
+				continue
+			}
+			if victim == nil || victim.now.Less(lp.now) ||
+				(lp.now == victim.now && victim.decl.id < lp.decl.id) {
+				victim, vIdx = lp, i
+			}
+		}
+		if victim == nil {
+			return // nothing speculative left here; other workers may reclaim
+		}
+		w.metrics.Cancelbacks.Add(1)
+		w.rollbackTo(victim, vIdx)
+		// A cancelback's anti-messages may roll back local peers in turn,
+		// releasing more memory before the next victim pick.
+		w.drainLocal()
+	}
+}
+
+// blockedLPs lists the owned conservative LPs that are blocked at this GVT
+// pause — pending events below the horizon, none safe — with their earliest
+// withheld timestamp, for the controller's stall-rescue pick.
+func (w *worker) blockedLPs() []BlockedLP {
+	var b []BlockedLP
+	for _, lp := range w.owned {
+		if lp.mode != Conservative || lp.pending.Len() == 0 {
+			continue
+		}
+		ts := lp.pending.MinTS()
+		if !ts.Less(w.horizon) || lp.safeToProcess(w.gvt, w.user) {
+			continue
+		}
+		b = append(b, BlockedLP{LP: lp.decl.id, TS: ts})
+	}
+	return b
+}
+
+// publishDiag refreshes this worker's stall-report snapshot. Unforced calls
+// sit on the hot scheduling path and only publish when the watchdog has
+// requested a dump (rs.dumpEpoch moved) — steady-state cost is one atomic
+// load. Forced calls happen just before a potentially unbounded block in
+// Recv, where the worker cannot answer a later request, so the pre-block
+// state must already be published.
+func (w *worker) publishDiag(force bool) {
+	if w.rs == nil {
+		return
+	}
+	epoch := w.rs.dumpEpoch.Load()
+	if !force && w.diagEpoch.Load() == epoch {
+		return
+	}
+	w.diagMu.Lock()
+	w.diag.Worker = w.ep.Self()
+	w.diag.GVT = w.gvt
+	w.diag.Paused = w.paused
+	w.diag.ExecTotal = w.execTotal
+	w.diag.LPs = w.diag.LPs[:0]
+	for _, lp := range w.owned {
+		d := LPDiag{
+			LP:        lp.decl.id,
+			Name:      w.sys.Name(lp.decl.id),
+			Mode:      lp.mode,
+			Now:       lp.now,
+			Pending:   lp.pending.Len(),
+			BlockedOn: NoLP,
+		}
+		if d.Pending > 0 {
+			d.MinPending = lp.pending.MinTS()
+			d.Guarantee = lp.guaranteeMin(w.gvt)
+			if lp.mode == Conservative && d.MinPending.Less(w.horizon) &&
+				!lp.safeToProcess(w.gvt, w.user) {
+				d.BlockedOn = w.blockingEdge(lp)
+			}
+		} else {
+			d.MinPending = vtime.Inf
+			d.Guarantee = lp.guaranteeMin(w.gvt)
+		}
+		w.diag.LPs = append(w.diag.LPs, d)
+	}
+	w.diagMu.Unlock()
+	w.diagEpoch.Store(epoch)
+}
+
+// blockingEdge returns the source LP of the input edge with the weakest
+// guarantee — the edge a blocked conservative LP is waiting on.
+func (w *worker) blockingEdge(lp *lpRT) LPID {
+	blocked, min := NoLP, vtime.Inf
+	for i := range lp.edges {
+		e := &lp.edges[i]
+		g := w.gvt
+		if e.srcCons && w.gvt.Less(e.cc) {
+			g = e.cc
+		}
+		if g.Less(min) {
+			min, blocked = g, e.src
+		}
+	}
+	return blocked
+}
+
+// setWaiting flags the published snapshot while this worker is parked in a
+// blocking Recv: the watchdog then reports it as waiting for messages (the
+// normal shape of a stall) rather than unresponsive.
+func (w *worker) setWaiting(v bool) {
+	if w.rs == nil {
+		return
+	}
+	w.diagMu.Lock()
+	w.diag.Waiting = v
+	w.diagMu.Unlock()
+}
+
+// copyDiag returns the last published snapshot (called by the watchdog).
+func (w *worker) copyDiag() WorkerDiag {
+	w.diagMu.Lock()
+	defer w.diagMu.Unlock()
+	d := w.diag
+	d.LPs = append([]LPDiag(nil), w.diag.LPs...)
+	return d
+}
+
+// diagEpochSeen reports the dump epoch of the last published snapshot.
+func (w *worker) diagEpochSeen() uint32 { return w.diagEpoch.Load() }

@@ -77,6 +77,9 @@ type Metrics struct {
 	Fossils      atomic.Uint64 // history records reclaimed
 	Blocked      atomic.Uint64 // times a conservative LP had events but none safe
 	OrphanAntis  atomic.Uint64 // anti-messages never matched by a positive (bug indicator)
+	MemThrottled atomic.Uint64 // scheduling decisions withheld by the memory budget
+	Cancelbacks  atomic.Uint64 // budget-driven rollbacks of furthest-ahead LPs
+	StallRescues atomic.Uint64 // blocked conservative LPs forced optimistic by stall rescue
 }
 
 // Snapshot is a plain-value copy of Metrics for reporting.
@@ -86,6 +89,7 @@ type Snapshot struct {
 	LocalMsgs, RemoteMsgs                       uint64
 	GVTRounds, ModeSwitches                     uint64
 	StateSaves, Fossils, Blocked, OrphanAntis   uint64
+	MemThrottled, Cancelbacks, StallRescues     uint64
 }
 
 // Snapshot copies the counters.
@@ -106,6 +110,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Fossils:      m.Fossils.Load(),
 		Blocked:      m.Blocked.Load(),
 		OrphanAntis:  m.OrphanAntis.Load(),
+		MemThrottled: m.MemThrottled.Load(),
+		Cancelbacks:  m.Cancelbacks.Load(),
+		StallRescues: m.StallRescues.Load(),
 	}
 }
 
@@ -118,11 +125,19 @@ func (s Snapshot) Efficiency() float64 {
 	return 1 - float64(s.RolledBack)/float64(s.Events)
 }
 
-// String renders the snapshot as a compact single line.
+// String renders the snapshot as a compact single line. Supervision counters
+// are appended only when nonzero so the common report stays short.
 func (s Snapshot) String() string {
-	return fmt.Sprintf("events=%d rollbacks=%d rolledback=%d antis=%d annih=%d orphans=%d nulls=%d local=%d remote=%d gvt=%d switches=%d eff=%.3f",
+	out := fmt.Sprintf("events=%d rollbacks=%d rolledback=%d antis=%d annih=%d orphans=%d nulls=%d local=%d remote=%d gvt=%d switches=%d eff=%.3f",
 		s.Events, s.Rollbacks, s.RolledBack, s.Antis, s.Annihilated, s.OrphanAntis, s.Nulls,
 		s.LocalMsgs, s.RemoteMsgs, s.GVTRounds, s.ModeSwitches, s.Efficiency())
+	if s.MemThrottled != 0 || s.Cancelbacks != 0 {
+		out += fmt.Sprintf(" memthrottled=%d cancelbacks=%d", s.MemThrottled, s.Cancelbacks)
+	}
+	if s.StallRescues != 0 {
+		out += fmt.Sprintf(" stallrescues=%d", s.StallRescues)
+	}
+	return out
 }
 
 // WallClockPoint is one wall-clock benchmark measurement: a complete verified

@@ -1,0 +1,116 @@
+// Package supervise implements automatic failover for the process hosting
+// the GVT controller: it runs the simulation, retains the latest
+// GVT-consistent checkpoint, and when an attempt dies of a recoverable
+// transport failure (peer death, heartbeat timeout, stream corruption) it
+// re-runs from that checkpoint with the dead node's LPs absorbed locally —
+// no operator intervention, and a committed trace byte-identical to an
+// uninterrupted run, because checkpoint restore deterministically replays
+// the committed prefix before resuming.
+//
+// The division of labor: package pdes knows how to cut and restore a
+// consistent state, package transport knows how to fail fast and
+// diagnose, and this package knows which failures are worth retrying and
+// what state to retry from. The absorb run keeps the same Config.Workers
+// (the paper's LP-to-processor mapping is a partition over a fixed worker
+// count, and the restored mode/ownership tables are indexed by it); the
+// survivors simply host all workers in one process over the in-process
+// fabric.
+package supervise
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"govhdl/internal/pdes"
+)
+
+// DefaultMaxFailovers bounds how many times Run re-attempts after failures.
+// Each absorb run is fully local, so repeated recoverable failures indicate
+// a fault-injection plan or a broken machine rather than flaky peers.
+const DefaultMaxFailovers = 3
+
+// RunFunc executes one simulation attempt. Attempt 0 is the primary run
+// (distributed or fault-injected); attempts >= 1 are recovery runs and must
+// be fully local, with fresh model state, resuming from restore (nil means
+// no checkpoint was cut yet: restart from scratch — still deterministic).
+// The callee must route every checkpoint cut through Supervisor.Checkpoint.
+type RunFunc func(attempt int, restore *pdes.Checkpoint) (*pdes.Result, error)
+
+// Supervisor coordinates the attempt loop. The zero value is ready to use.
+type Supervisor struct {
+	// MaxFailovers caps recovery attempts; 0 means DefaultMaxFailovers.
+	MaxFailovers int
+	// OnFailover, if set, observes each recovery decision before the next
+	// attempt starts: the attempt that died, its error, and the checkpoint
+	// the next attempt will resume from (nil for a from-scratch restart).
+	OnFailover func(attempt int, err error, ck *pdes.Checkpoint)
+
+	mu     sync.Mutex
+	latest *pdes.Checkpoint
+}
+
+// Checkpoint records the most recent cut; safe for concurrent use with Run.
+func (s *Supervisor) Checkpoint(ck *pdes.Checkpoint) {
+	s.mu.Lock()
+	s.latest = ck
+	s.mu.Unlock()
+}
+
+// Latest returns the most recent checkpoint, or nil before the first cut.
+func (s *Supervisor) Latest() *pdes.Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest
+}
+
+// Run drives run until an attempt succeeds, fails unrecoverably, or the
+// failover budget is exhausted.
+func (s *Supervisor) Run(run RunFunc) (*pdes.Result, error) {
+	max := s.MaxFailovers
+	if max <= 0 {
+		max = DefaultMaxFailovers
+	}
+	var lastErr error
+	for attempt := 0; attempt <= max; attempt++ {
+		res, err := run(attempt, s.Latest())
+		if err == nil {
+			return res, nil
+		}
+		if !Recoverable(err) {
+			return res, err
+		}
+		lastErr = err
+		if s.OnFailover != nil {
+			s.OnFailover(attempt, err, s.Latest())
+		}
+	}
+	return nil, &giveUpError{failovers: max, err: lastErr}
+}
+
+// giveUpError marks an exhausted failover budget. It unwraps to the last
+// attempt's error for inspection, but Recoverable treats it as terminal:
+// the retries it would justify have already been spent.
+type giveUpError struct {
+	failovers int
+	err       error
+}
+
+func (g *giveUpError) Error() string {
+	return fmt.Sprintf("supervise: giving up after %d failovers: %v", g.failovers, g.err)
+}
+
+func (g *giveUpError) Unwrap() error { return g.err }
+
+// Recoverable reports whether err is a transport-layer failure that a
+// failover can absorb. Simulation errors — deadlock, a stall-watchdog
+// verdict, a model panic — would recur deterministically on replay and are
+// never retried.
+func Recoverable(err error) bool {
+	var g *giveUpError
+	if errors.As(err, &g) {
+		return false
+	}
+	var se *pdes.SimError
+	return errors.As(err, &se) && se.Transport
+}

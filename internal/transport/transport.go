@@ -23,6 +23,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -39,8 +40,15 @@ import (
 )
 
 // protocolVersion is checked during the handshake so mismatched builds fail
-// with a diagnosis instead of a gob decode error mid-run.
-const protocolVersion = 2
+// with a diagnosis instead of a gob decode error mid-run. Version 3
+// introduced length-prefixed framing (see frameReader).
+const protocolVersion = 3
+
+// maxFrameBytes bounds one framed gob value. The length prefix of every
+// frame is validated against it before any payload byte is consumed, so a
+// corrupt or hostile prefix is diagnosed up front and can never drive
+// allocation: frames are streamed, not buffered, on the receive side.
+const maxFrameBytes = 16 << 20
 
 // hbDst is the reserved wire destination for heartbeat frames; receivers
 // drop it after refreshing their read deadline.
@@ -159,16 +167,109 @@ type Node struct {
 	wg        sync.WaitGroup
 }
 
+// conn frames outbound gob values: each send encodes into a reusable buffer
+// and goes out as ONE Write of [4-byte big-endian length | payload]. A single
+// write per frame keeps frames atomic with respect to concurrent senders
+// (the mutex orders whole frames, never interleaved bytes) and gives fault
+// injection a crisp unit to count.
 type conn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	mu  sync.Mutex // serializes writes
+	c       net.Conn
+	mu      sync.Mutex // serializes writes; guards buf/enc/scratch
+	buf     bytes.Buffer
+	enc     *gob.Encoder // encodes into buf; stream state persists across frames
+	scratch []byte
 }
 
-func (cn *conn) send(w *wire) error {
+func newConn(c net.Conn) *conn {
+	cn := &conn{c: c}
+	cn.enc = gob.NewEncoder(&cn.buf)
+	return cn
+}
+
+func (cn *conn) send(v any) error {
 	cn.mu.Lock()
 	defer cn.mu.Unlock()
-	return cn.enc.Encode(w)
+	cn.buf.Reset()
+	if err := cn.enc.Encode(v); err != nil {
+		return err
+	}
+	n := cn.buf.Len()
+	if n > maxFrameBytes {
+		return fmt.Errorf("transport: frame of %d bytes exceeds the %d-byte limit", n, maxFrameBytes)
+	}
+	cn.scratch = append(cn.scratch[:0], byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	cn.scratch = append(cn.scratch, cn.buf.Bytes()...)
+	_, err := cn.c.Write(cn.scratch)
+	return err
+}
+
+// frameReader reassembles the framed byte stream for a gob decoder. It
+// validates every length prefix before serving payload bytes and never
+// buffers a frame: a hostile prefix errors immediately, a truncated payload
+// surfaces as io.ErrUnexpectedEOF, and a clean EOF is only possible at a
+// frame boundary.
+type frameReader struct {
+	src       io.Reader
+	remaining int
+	hdr       [4]byte
+}
+
+func newFrameReader(src io.Reader) *frameReader { return &frameReader{src: src} }
+
+func (fr *frameReader) Read(p []byte) (int, error) {
+	if fr.remaining == 0 {
+		if _, err := io.ReadFull(fr.src, fr.hdr[:]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				return 0, fmt.Errorf("transport: truncated frame header: %w", err)
+			}
+			return 0, err // clean EOF at a frame boundary stays io.EOF
+		}
+		n := int(fr.hdr[0])<<24 | int(fr.hdr[1])<<16 | int(fr.hdr[2])<<8 | int(fr.hdr[3])
+		if n <= 0 || n > maxFrameBytes {
+			return 0, fmt.Errorf("transport: frame length %d outside (0, %d]", n, maxFrameBytes)
+		}
+		fr.remaining = n
+	}
+	if len(p) > fr.remaining {
+		p = p[:fr.remaining]
+	}
+	n, err := fr.src.Read(p)
+	fr.remaining -= n
+	if err == io.EOF {
+		if n == 0 {
+			return 0, fmt.Errorf("transport: truncated frame payload (%d bytes missing): %w", fr.remaining, io.ErrUnexpectedEOF)
+		}
+		err = nil // the EOF resurfaces on the next call if the frame is short
+	}
+	return n, err
+}
+
+// validateWire rejects malformed envelopes after decoding, before routing:
+// a frame must address a real endpoint (or be a bare heartbeat) and carry
+// exactly one payload form. Anything else means stream corruption or a
+// hostile peer, and fails the node rather than corrupting the run.
+func validateWire(w *wire, total int) error {
+	if w.Dst == hbDst {
+		if w.M != nil || len(w.Batch) > 0 {
+			return fmt.Errorf("transport: heartbeat frame carries a payload")
+		}
+		return nil
+	}
+	if w.Dst < 0 || w.Dst >= total {
+		return fmt.Errorf("transport: frame addressed to endpoint %d, outside [0,%d)", w.Dst, total)
+	}
+	if w.M == nil && len(w.Batch) == 0 {
+		return fmt.Errorf("transport: frame for endpoint %d has no payload", w.Dst)
+	}
+	if w.M != nil && len(w.Batch) > 0 {
+		return fmt.Errorf("transport: frame for endpoint %d carries both a message and a batch", w.Dst)
+	}
+	for i, m := range w.Batch {
+		if m == nil {
+			return fmt.Errorf("transport: frame for endpoint %d has a nil message at batch index %d", w.Dst, i)
+		}
+	}
+	return nil
 }
 
 type endpoint struct {
@@ -225,6 +326,14 @@ func (e *endpoint) TryRecv() (*pdes.Msg, bool) {
 		return nil, false
 	}
 }
+
+// Poison fails the whole node: on a fail-fast transport a local supervision
+// error (stall watchdog) is indistinguishable from a peer death — every
+// hosted endpoint must unwind, and remote peers must notice promptly.
+func (e *endpoint) Poison(err error) { e.node.fail(err) }
+
+// QueueLen reports the messages buffered for this endpoint.
+func (e *endpoint) QueueLen() int { return len(e.box) }
 
 // route delivers a wire message: locally when the destination endpoint
 // lives here, otherwise over the owning connection (the hub forwards).
@@ -403,6 +512,13 @@ func (n *Node) drain(cn *conn, dec *gob.Decoder) {
 			n.fail(n.diagnose(err))
 			return
 		}
+		if err := validateWire(&w, n.total); err != nil {
+			if n.closed.Load() {
+				return
+			}
+			n.fail(err)
+			return
+		}
 		if w.Dst == hbDst {
 			continue // heartbeat: deadline already refreshed
 		}
@@ -532,8 +648,11 @@ func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error)
 		if o.wrap != nil {
 			c = o.wrap(c)
 		}
-		dec := gob.NewDecoder(c)
-		enc := gob.NewEncoder(c)
+		// The handshake runs over the same framed gob streams as the run
+		// itself, so a pre-version-3 peer fails the hello decode here with a
+		// frame error instead of corrupting the stream later.
+		cn := newConn(c)
+		dec := gob.NewDecoder(newFrameReader(c))
 		c.SetReadDeadline(time.Now().Add(helloTimeout))
 		var h hello
 		if err := dec.Decode(&h); err != nil {
@@ -543,16 +662,15 @@ func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error)
 			continue
 		}
 		if err := n.vetHello(&h, claimed); err != nil {
-			enc.Encode(&helloAck{Err: err.Error()})
+			cn.send(&helloAck{Err: err.Error()})
 			c.Close()
 			continue
 		}
 		c.SetReadDeadline(time.Time{})
-		if err := enc.Encode(&helloAck{OK: true}); err != nil {
+		if err := cn.send(&helloAck{OK: true}); err != nil {
 			c.Close()
 			continue
 		}
-		cn := &conn{c: c, enc: enc}
 		n.mu.Lock()
 		for _, id := range h.Hosted {
 			n.conns[id] = cn
@@ -586,9 +704,9 @@ func Dial(addr string, total int, hosted []int, opts ...Option) (*Node, error) {
 	if o.wrap != nil {
 		c = o.wrap(c)
 	}
-	enc := gob.NewEncoder(c)
-	dec := gob.NewDecoder(c)
-	if err := enc.Encode(&hello{Version: protocolVersion, Total: total, Hosted: hosted}); err != nil {
+	cn := newConn(c)
+	dec := gob.NewDecoder(newFrameReader(c))
+	if err := cn.send(&hello{Version: protocolVersion, Total: total, Hosted: hosted}); err != nil {
 		c.Close()
 		return nil, fmt.Errorf("transport: handshake send: %w", err)
 	}
@@ -605,7 +723,6 @@ func Dial(addr string, total int, hosted []int, opts ...Option) (*Node, error) {
 	c.SetReadDeadline(time.Time{})
 
 	n := newNode(total, hosted, o)
-	cn := &conn{c: c, enc: enc}
 	n.mu.Lock()
 	for id := 0; id < total; id++ {
 		if _, local := n.eps[id]; !local {

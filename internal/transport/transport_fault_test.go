@@ -176,12 +176,12 @@ func rawHello(t *testing.T, addr string, h hello) helloAck {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := gob.NewEncoder(c).Encode(&h); err != nil {
+	if err := newConn(c).send(&h); err != nil {
 		t.Fatal(err)
 	}
 	c.SetReadDeadline(time.Now().Add(5 * time.Second))
 	var ack helloAck
-	if err := gob.NewDecoder(c).Decode(&ack); err != nil {
+	if err := gob.NewDecoder(newFrameReader(c)).Decode(&ack); err != nil {
 		t.Fatal(err)
 	}
 	return ack
