@@ -173,7 +173,7 @@ func BenchmarkAblationThrottle(b *testing.B) {
 // wallClockBench measures real host performance of one verified run per
 // iteration: ns/event and allocs/event, the numbers BENCH_wallclock.json
 // tracks across PRs (speedupBench above reports the modeled makespan instead).
-func wallClockBench(b *testing.B, circuit string, cfgName string, cfg pdes.Config, workers int) {
+func wallClockBench(b *testing.B, circuit string, cs figures.ConfigSpec, workers int) {
 	b.Helper()
 	var byName func(figures.Scale) (func() *circuits.Circuit, vtime.Time)
 	for _, wc := range figures.WallClockCircuits() {
@@ -187,7 +187,7 @@ func wallClockBench(b *testing.B, circuit string, cfgName string, cfg pdes.Confi
 	build, until := byName(figures.ScaleSmoke)
 	var last stats.WallClockPoint
 	for i := 0; i < b.N; i++ {
-		p, err := figures.MeasureWallClock(build, until, circuit, cfgName, cfg, workers)
+		p, err := figures.MeasureWallClock(build, until, circuit, cs, workers)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +208,7 @@ func BenchmarkWallClockFSM(b *testing.B) {
 			workers = 1
 		}
 		b.Run(cs.Name, func(b *testing.B) {
-			wallClockBench(b, "FSM", cs.Name, cs.Cfg, workers)
+			wallClockBench(b, "FSM", cs, workers)
 		})
 	}
 }
@@ -221,7 +221,7 @@ func BenchmarkWallClockIIR(b *testing.B) {
 			workers = 1
 		}
 		b.Run(cs.Name, func(b *testing.B) {
-			wallClockBench(b, "IIR", cs.Name, cs.Cfg, workers)
+			wallClockBench(b, "IIR", cs, workers)
 		})
 	}
 }

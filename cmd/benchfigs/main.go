@@ -30,6 +30,7 @@ func main() {
 		wcOut     = flag.String("o", "BENCH_wallclock.json", "wall-clock mode: output JSON path")
 		wcWorkers = flag.Int("workers", 4, "wall-clock mode: parallel worker count")
 		wcReps    = flag.Int("reps", 3, "wall-clock mode: repetitions per cell (fastest kept)")
+		wcGuard   = flag.Float64("guard", 0, "wall-clock mode: fail if dynamic exceeds this ratio of cons ns/event on any circuit, or a sharded config exceeds 2x the sequential oracle (0 = off)")
 		quiet     = flag.Bool("quiet", false, "suppress per-run progress lines")
 	)
 	flag.Parse()
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	if *wallclock {
-		if err := runWallClock(scale, *wcWorkers, *wcReps, *wcOut, progress); err != nil {
+		if err := runWallClock(scale, *wcWorkers, *wcReps, *wcOut, *wcGuard, progress); err != nil {
 			fmt.Fprintln(os.Stderr, "benchfigs:", err)
 			os.Exit(1)
 		}
@@ -93,8 +94,11 @@ type wallClockFile struct {
 }
 
 // runWallClock measures the wall-clock suite and merges the result into the
-// JSON trajectory file at path.
-func runWallClock(scale figures.Scale, workers, reps int, path string, progress io.Writer) error {
+// JSON trajectory file at path. A nonzero guard turns the run into a perf
+// gate: dynamic must stay within guard x cons ns/event on every circuit (the
+// dynamic-adaptation regression check), and every sharded configuration must
+// land within 2x the sequential oracle's ns/event.
+func runWallClock(scale figures.Scale, workers, reps int, path string, guard float64, progress io.Writer) error {
 	rep, err := figures.WallClockSuite(scale, workers, reps, progress)
 	if err != nil {
 		return err
@@ -123,6 +127,54 @@ func runWallClock(scale figures.Scale, workers, reps int, path string, progress 
 		}
 	}
 	fmt.Fprintf(os.Stdout, "# wrote %s\n", path)
+	if guard > 0 {
+		if err := checkGuard(rep, guard); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stdout, "# guard ok (ratio %.2f)\n", guard)
+	}
+	return nil
+}
+
+// checkGuard enforces the wall-clock perf gates on a fresh report:
+//
+//   - dynamic must stay within ratio x cons ns/event on every circuit (the
+//     dynamic-adaptation regression gate);
+//   - cons-shard and dynamic-shard must beat their unsharded bases — sharding
+//     exists to remove protocol overhead, so losing to the config it wraps is
+//     a regression at any scale;
+//   - at paper scale, cons-shard and dynamic-shard must additionally land
+//     within 2x of the sequential oracle's ns/event (small smoke circuits
+//     cannot amortize the cross-shard cut, so the absolute gate only holds
+//     where the paper's workloads live).
+//
+// opt-shard is exempt everywhere: it snapshots whole shards per event (heap
+// plus every member state), a deliberate worst case kept in the sweep for
+// trajectory data, not as a config anyone should run for speed.
+func checkGuard(rep *stats.WallClockReport, ratio float64) error {
+	gated := []struct{ name, base string }{{"cons-shard", "cons"}, {"dynamic-shard", "dynamic"}}
+	for _, wc := range figures.WallClockCircuits() {
+		cons, dyn := rep.Find(wc.Name, "cons"), rep.Find(wc.Name, "dynamic")
+		if cons != nil && dyn != nil && cons.NsPerEvent > 0 && dyn.NsPerEvent > ratio*cons.NsPerEvent {
+			return fmt.Errorf("guard: %s dynamic %.0f ns/event exceeds %.2fx cons %.0f ns/event",
+				wc.Name, dyn.NsPerEvent, ratio, cons.NsPerEvent)
+		}
+		seq := rep.Find(wc.Name, "seq")
+		for _, g := range gated {
+			p := rep.Find(wc.Name, g.name)
+			if p == nil {
+				continue
+			}
+			if base := rep.Find(wc.Name, g.base); base != nil && base.NsPerEvent > 0 && p.NsPerEvent > base.NsPerEvent {
+				return fmt.Errorf("guard: %s %s %.0f ns/event is slower than unsharded %s %.0f ns/event",
+					wc.Name, g.name, p.NsPerEvent, g.base, base.NsPerEvent)
+			}
+			if rep.Scale == "paper" && seq != nil && seq.NsPerEvent > 0 && p.NsPerEvent > 2*seq.NsPerEvent {
+				return fmt.Errorf("guard: %s %s %.0f ns/event exceeds 2x sequential oracle %.0f ns/event",
+					wc.Name, g.name, p.NsPerEvent, seq.NsPerEvent)
+			}
+		}
+	}
 	return nil
 }
 

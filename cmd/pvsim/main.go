@@ -60,6 +60,10 @@ type runOpts struct {
 	verify    bool
 	compare   bool
 
+	shards    int
+	partition string
+	gvtAdapt  bool
+
 	listen     string
 	connect    string
 	endpoints  int
@@ -107,7 +111,10 @@ func main() {
 	flag.StringVar(&o.connect, "connect", "", "distributed: hub address to join")
 	flag.IntVar(&o.endpoints, "endpoints", 0, "distributed: total endpoint count (controller + workers)")
 	flag.StringVar(&o.hosted, "hosted", "", "distributed: comma-separated endpoint ids hosted here")
+	flag.IntVar(&o.shards, "shards", 0, "cluster LPs into this many shards that execute sequentially inside the shard, with the PDES protocol running only between shards (0 = no sharding, one LP per signal/process)")
+	flag.StringVar(&o.partition, "partition", "", "LP-to-worker / shard-membership partitioning: rr (round-robin), block, or topo (graph-aware edge-cut); default topo when -shards is set, rr otherwise")
 	flag.IntVar(&o.gvtEvery, "gvt-every", 0, "events per worker between GVT round requests (0 = engine default)")
+	flag.BoolVar(&o.gvtAdapt, "gvt-adapt", false, "retune the GVT cadence each round from observed cut traffic (bounded by 16x the base interval)")
 	flag.DurationVar(&o.hbInterval, "hb-interval", time.Second, "distributed: heartbeat interval (<=0 disables liveness checking)")
 	flag.DurationVar(&o.hbTimeout, "hb-timeout", 5*time.Second, "distributed: declare a silent peer dead after this long")
 
@@ -168,6 +175,34 @@ func validateRunOpts(o *runOpts, proto pdes.Protocol) error {
 	if (o.listen != "" || o.connect != "") && o.endpoints < 2 {
 		return fmt.Errorf("distributed mode needs -endpoints >= 2")
 	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 disables sharding)")
+	}
+	if o.partition != "" {
+		switch strings.ToLower(o.partition) {
+		case "rr", "roundrobin", "round-robin", "block", "topo":
+		default:
+			return fmt.Errorf("-partition must be rr, block or topo, got %q", o.partition)
+		}
+	}
+	if o.restore != "" && (o.shards > 0 || o.partition != "") {
+		return fmt.Errorf("-shards/-partition are recorded in the checkpoint file; -restore derives them (drop the explicit flags)")
+	}
+	if o.shards > 0 {
+		if proto == pdes.ProtoSequential {
+			return fmt.Errorf("-shards needs a parallel protocol (the sequential kernel already runs as one shard)")
+		}
+		if o.user {
+			return fmt.Errorf("-shards cannot be combined with -user: user-consistent ordering is defined on member events, which shards interleave internally")
+		}
+		workers := o.workers
+		if o.listen != "" || o.connect != "" {
+			workers = o.endpoints - 1
+		}
+		if workers > o.shards {
+			return fmt.Errorf("%d workers for %d shards: each shard is owned by one worker, so use -workers <= -shards", workers, o.shards)
+		}
+	}
 	return nil
 }
 
@@ -177,6 +212,12 @@ func validateRunOpts(o *runOpts, proto pdes.Protocol) error {
 type checkpointFile struct {
 	Ckpt  *pdes.Checkpoint
 	Trace []trace.Entry
+	// Shards and Partition record the sharding the run was started with, so
+	// -restore rebuilds an identical shard system without the user having to
+	// repeat (or risk contradicting) the flags. Zero values — absent in
+	// files written before sharding existed — mean an unsharded run.
+	Shards    int
+	Partition string
 }
 
 // writeCheckpointFile writes atomically: encode to a temp file, fsync it,
@@ -184,13 +225,13 @@ type checkpointFile struct {
 // itself is durable. A crash at any step leaves either the previous good
 // checkpoint or the complete new one — never a torn file, and never a
 // directory entry pointing at unsynced data.
-func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry) error {
+func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry, shards int, partition string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(f).Encode(&checkpointFile{Ckpt: ck, Trace: entries}); err != nil {
+	if err := gob.NewEncoder(f).Encode(&checkpointFile{Ckpt: ck, Trace: entries, Shards: shards, Partition: partition}); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -226,20 +267,20 @@ func syncDir(dir string) error {
 	return nil
 }
 
-func readCheckpointFile(path string) (*pdes.Checkpoint, []trace.Entry, error) {
+func readCheckpointFile(path string) (*checkpointFile, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	defer f.Close()
 	var cf checkpointFile
 	if err := gob.NewDecoder(f).Decode(&cf); err != nil {
-		return nil, nil, fmt.Errorf("corrupt checkpoint file %s: %w", path, err)
+		return nil, fmt.Errorf("corrupt checkpoint file %s: %w", path, err)
 	}
 	if cf.Ckpt == nil {
-		return nil, nil, fmt.Errorf("checkpoint file %s holds no checkpoint", path)
+		return nil, fmt.Errorf("checkpoint file %s holds no checkpoint", path)
 	}
-	return cf.Ckpt, cf.Trace, nil
+	return &cf, nil
 }
 
 func run(o runOpts) error {
@@ -308,6 +349,7 @@ func run(o runOpts) error {
 		Lookahead:       o.lookahead,
 		CheckpointEvery: o.saveEvery,
 		GVTEvery:        o.gvtEvery,
+		GVTAdapt:        o.gvtAdapt,
 	}
 	switch strings.ToLower(o.protocol) {
 	case "seq", "sequential":
@@ -385,12 +427,45 @@ func run(o runOpts) error {
 		// The checkpoint carries the committed prefix as replayable per-LP
 		// logs: the restored run re-emits the full trace itself, so the
 		// recorder starts empty (and failover seeds from the same cut).
-		ck, _, err := readCheckpointFile(o.restore)
+		cf, err := readCheckpointFile(o.restore)
 		if err != nil {
 			return err
 		}
-		sup.Checkpoint(ck)
-		fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.restore, ck.GVT, ck.Round)
+		sup.Checkpoint(cf.Ckpt)
+		// Sharding is part of the checkpoint's identity: the cut was taken
+		// over shard-level LPs, so the restored system must be sharded the
+		// same way (validateRunOpts rejects explicit flags with -restore).
+		o.shards, o.partition = cf.Shards, cf.Partition
+		if o.shards > 0 {
+			fmt.Printf("restoring from %s (GVT %v, round %d, %d shards)\n", o.restore, cf.Ckpt.GVT, cf.Ckpt.Round, o.shards)
+		} else {
+			fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.restore, cf.Ckpt.GVT, cf.Ckpt.Round)
+		}
+	}
+
+	// Resolve the partitioner once -restore has had its say: the same name
+	// drives shard membership and (when given explicitly) LP-to-worker
+	// placement. Sharded runs default to the topology-aware partitioner —
+	// minimizing the cut is the point of sharding — while unsharded runs keep
+	// the engine's round-robin default.
+	shardPart := pdes.PartitionTopo
+	switch strings.ToLower(o.partition) {
+	case "":
+		// keep defaults
+	case "rr", "roundrobin", "round-robin":
+		shardPart = pdes.PartitionRoundRobin
+		cfg.Partition = pdes.PartitionRoundRobin
+	case "block":
+		shardPart = pdes.PartitionBlock
+		cfg.Partition = pdes.PartitionBlock
+	case "topo":
+		cfg.Partition = pdes.PartitionTopo
+	default:
+		return fmt.Errorf("unknown partition %q in checkpoint", o.partition)
+	}
+	if o.shards > 0 {
+		fmt.Printf("sharding: %d shards, intra-shard sequential, %s membership\n",
+			o.shards, map[pdes.Partition]string{pdes.PartitionRoundRobin: "round-robin", pdes.PartitionBlock: "block", pdes.PartitionTopo: "topology-aware"}[shardPart])
 	}
 
 	// Every attempt gets fresh model state and a fresh recorder: attempt 0
@@ -410,13 +485,26 @@ func run(o runOpts) error {
 		}
 		sys = design.Build()
 		rec = trace.NewRecorder()
+		// The engine runs the shard-level system while verification, -compare,
+		// -trace and -vcd keep working on the original member-level system:
+		// the wrapped sink re-attributes every record to its member LP.
+		runSys := sys
+		var sink pdes.TraceSink = rec
+		if o.shards > 0 {
+			shd, serr := pdes.ShardSystem(sys, o.shards, shardPart)
+			if serr != nil {
+				return nil, serr
+			}
+			runSys = shd.Sys()
+			sink = shd.WrapSink(rec)
+		}
 		acfg := cfg
 		acfg.Restore = restore
 		if acfg.CheckpointRounds > 0 && (hostsController || attempt > 0) {
 			acfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
 				sup.Checkpoint(ck)
 				if o.ckptFile != "" {
-					return writeCheckpointFile(o.ckptFile, ck, rec.Entries())
+					return writeCheckpointFile(o.ckptFile, ck, rec.Entries(), o.shards, o.partition)
 				}
 				return nil
 			}
@@ -425,7 +513,7 @@ func run(o runOpts) error {
 			// Absorb run: same workers, same partition, same config — only
 			// the fabric changes, so the restored replay and the resumed
 			// run commit exactly what the dead cluster would have.
-			return pdes.RunOn(sys, acfg, until, rec, pdes.NewLocalFabric(acfg.Workers+1))
+			return pdes.RunOn(runSys, acfg, until, sink, pdes.NewLocalFabric(acfg.Workers+1))
 		}
 		switch {
 		case distributed:
@@ -451,7 +539,7 @@ func run(o runOpts) error {
 				return nil, terr
 			}
 			defer node.Close()
-			return pdes.RunOn(sys, acfg, until, rec, node.Endpoints())
+			return pdes.RunOn(runSys, acfg, until, sink, node.Endpoints())
 		case o.faultDieSends > 0 || o.faultMuteSends > 0:
 			plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.faultDieSends, MuteAfterSends: o.faultMuteSends}
 			eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(acfg.Workers+1), plan)
@@ -463,11 +551,11 @@ func run(o runOpts) error {
 				fmt.Printf("fault injection: each endpoint goes silent after %d sends (seed %d)\n",
 					o.faultMuteSends, o.faultSeed)
 			}
-			return pdes.RunOn(sys, acfg, until, rec, eps)
+			return pdes.RunOn(runSys, acfg, until, sink, eps)
 		case cfg.Protocol == pdes.ProtoSequential:
 			return pdes.RunSequential(sys, until, rec)
 		default:
-			return pdes.Run(sys, acfg, until, rec)
+			return pdes.Run(runSys, acfg, until, sink)
 		}
 	}
 

@@ -125,6 +125,52 @@ func TestValidateRunOpts(t *testing.T) {
 		{"distributed without endpoints", func(o *runOpts) {
 			o.listen = ":0"
 		}, pdes.ProtoDynamic, "-endpoints >= 2"},
+		{"sharded ok", func(o *runOpts) {
+			o.shards = 4
+			o.workers = 4
+		}, pdes.ProtoDynamic, ""},
+		{"sharded topo ok", func(o *runOpts) {
+			o.shards = 8
+			o.workers = 4
+			o.partition = "topo"
+		}, pdes.ProtoConservative, ""},
+		{"partition without shards ok", func(o *runOpts) {
+			o.partition = "rr"
+			o.workers = 2
+		}, pdes.ProtoOptimistic, ""},
+		{"negative shards", func(o *runOpts) {
+			o.shards = -1
+		}, pdes.ProtoDynamic, "-shards must be >= 0"},
+		{"bad partition name", func(o *runOpts) {
+			o.partition = "metis"
+		}, pdes.ProtoDynamic, "-partition must be"},
+		{"shards under seq", func(o *runOpts) {
+			o.shards = 2
+			o.workers = 1
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"shards with user ordering", func(o *runOpts) {
+			o.shards = 2
+			o.workers = 1
+			o.user = true
+		}, pdes.ProtoDynamic, "-user"},
+		{"shards with restore", func(o *runOpts) {
+			o.shards = 2
+			o.restore = "ck"
+		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
+		{"partition with restore", func(o *runOpts) {
+			o.partition = "topo"
+			o.restore = "ck"
+		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
+		{"more workers than shards", func(o *runOpts) {
+			o.shards = 2
+			o.workers = 4
+		}, pdes.ProtoDynamic, "-workers <= -shards"},
+		{"more distributed workers than shards", func(o *runOpts) {
+			o.shards = 2
+			o.workers = 1
+			o.listen = ":0"
+			o.endpoints = 4
+		}, pdes.ProtoDynamic, "-workers <= -shards"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -154,53 +200,57 @@ func TestCheckpointFileAtomicity(t *testing.T) {
 	tmp := path + ".tmp"
 
 	ckA := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 100}, Workers: 2, NumLPs: 4}
-	if err := writeCheckpointFile(path, ckA, nil); err != nil {
+	if err := writeCheckpointFile(path, ckA, nil, 0, ""); err != nil {
 		t.Fatalf("write A: %v", err)
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
 		t.Fatalf("temp file survived a successful write: %v", err)
 	}
-	got, _, err := readCheckpointFile(path)
+	got, err := readCheckpointFile(path)
 	if err != nil {
 		t.Fatalf("read A: %v", err)
 	}
-	if got.GVT != ckA.GVT {
-		t.Fatalf("read back GVT %v, want %v", got.GVT, ckA.GVT)
+	if got.Ckpt.GVT != ckA.GVT {
+		t.Fatalf("read back GVT %v, want %v", got.Ckpt.GVT, ckA.GVT)
 	}
 
 	// Simulate a crash mid-write: garbage .tmp next to the good file.
 	if err := os.WriteFile(tmp, []byte("torn half-written checkpoint"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err = readCheckpointFile(path)
+	got, err = readCheckpointFile(path)
 	if err != nil {
 		t.Fatalf("good checkpoint unreadable with a torn .tmp present: %v", err)
 	}
-	if got.GVT != ckA.GVT {
-		t.Fatalf("torn .tmp leaked into the read: GVT %v", got.GVT)
+	if got.Ckpt.GVT != ckA.GVT {
+		t.Fatalf("torn .tmp leaked into the read: GVT %v", got.Ckpt.GVT)
 	}
 
-	// The next write must supersede both the old image and the torn temp.
+	// The next write must supersede both the old image and the torn temp,
+	// and round-trip the sharding metadata -restore depends on.
 	ckB := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 200}, Workers: 2, NumLPs: 4}
-	if err := writeCheckpointFile(path, ckB, []trace.Entry{{LP: 1, TS: vtime.VT{PT: 50}, Item: "x"}}); err != nil {
+	if err := writeCheckpointFile(path, ckB, []trace.Entry{{LP: 1, TS: vtime.VT{PT: 50}, Item: "x"}}, 4, "topo"); err != nil {
 		t.Fatalf("write B over torn tmp: %v", err)
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
 		t.Fatalf("temp file survived write B: %v", err)
 	}
-	got, entries, err := readCheckpointFile(path)
+	got, err = readCheckpointFile(path)
 	if err != nil {
 		t.Fatalf("read B: %v", err)
 	}
-	if got.GVT != ckB.GVT || len(entries) != 1 {
-		t.Fatalf("read back GVT %v with %d entries, want %v with 1", got.GVT, len(entries), ckB.GVT)
+	if got.Ckpt.GVT != ckB.GVT || len(got.Trace) != 1 {
+		t.Fatalf("read back GVT %v with %d entries, want %v with 1", got.Ckpt.GVT, len(got.Trace), ckB.GVT)
+	}
+	if got.Shards != 4 || got.Partition != "topo" {
+		t.Fatalf("sharding metadata = (%d, %q), want (4, \"topo\")", got.Shards, got.Partition)
 	}
 
 	// A corrupt main image must be diagnosed, not silently zero-valued.
 	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := readCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
+	if _, err := readCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
 		t.Fatalf("corrupt file error = %v", err)
 	}
 }

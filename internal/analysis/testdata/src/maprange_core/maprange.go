@@ -30,6 +30,33 @@ func sortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// pickFrontier is the graph-partitioner shape that motivated the shard
+// layer's dense-slice idiom: selecting the max-gain frontier vertex by
+// ranging a gain map ties the partition (and with it LP placement, shard
+// membership and the whole committed schedule) to Go's randomized iteration
+// order whenever two vertices share the top gain.
+func pickFrontier(gain map[int]int) int {
+	best, bestGain := -1, -1
+	for v, g := range gain { // want `range over map gain in deterministic core`
+		if g > bestGain {
+			best, bestGain = v, g
+		}
+	}
+	return best
+}
+
+// pickFrontierDense is the prescribed remediation: index dense slices by
+// vertex id so ties always resolve to the lowest id.
+func pickFrontierDense(gain []int, inFrontier []bool) int {
+	best, bestGain := -1, -1
+	for v := 0; v < len(gain); v++ {
+		if inFrontier[v] && gain[v] > bestGain {
+			best, bestGain = v, gain[v]
+		}
+	}
+	return best
+}
+
 func sliceAndChannelRanges(s []int, ch chan int) int {
 	sum := 0
 	for _, v := range s { // slices iterate in index order: fine

@@ -109,6 +109,50 @@ func TestFSMTraceParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestShardedCircuitsMatchSequential is the kernel-level sharding gate: for
+// each circuit, clustering the LP graph into shards (intra-shard sequential
+// execution, protocol only between shards) must leave the committed trace
+// byte-identical to the sequential kernel, for every protocol and for shard
+// counts both equal to and above the worker count.
+func TestShardedCircuitsMatchSequential(t *testing.T) {
+	builds := map[string]func() *Circuit{
+		"fsm": func() *Circuit { return BuildFSM(FSMOpts{Machines: 8, Cycles: 12}) },
+		"iir": func() *Circuit { return BuildIIR(IIROpts{Sections: 1, Width: 4, Cycles: 6}) },
+	}
+	for name, build := range builds {
+		ref := build()
+		sysRef := ref.Design.Build()
+		want := trace.NewRecorder()
+		if _, err := pdes.RunSequential(sysRef, ref.DefaultHorizon, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, proto := range []pdes.Protocol{pdes.ProtoConservative, pdes.ProtoOptimistic, pdes.ProtoDynamic} {
+			for _, shards := range []int{2, 4} {
+				t.Run(fmt.Sprintf("%s/%v/s%d", name, proto, shards), func(t *testing.T) {
+					c := build()
+					sys := c.Design.Build()
+					ss, err := pdes.ShardSystem(sys, shards, pdes.PartitionTopo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := trace.NewRecorder()
+					if _, err := pdes.Run(ss.Sys(), pdes.Config{
+						Workers: 2, Protocol: proto, Lookahead: true, GVTEvery: 256,
+					}, c.DefaultHorizon, ss.WrapSink(got)); err != nil {
+						t.Fatal(err)
+					}
+					if err := c.Verify(c.DefaultHorizon); err != nil {
+						t.Fatal(err)
+					}
+					if ok, diff := trace.Equal(sys, want, got); !ok {
+						t.Fatalf("trace mismatch: %s", diff)
+					}
+				})
+			}
+		}
+	}
+}
+
 func TestRisingEdges(t *testing.T) {
 	c := &Circuit{ClockHalf: 5 * vtime.NS}
 	cases := []struct {

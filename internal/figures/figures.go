@@ -27,9 +27,14 @@ import (
 )
 
 // ConfigSpec is one named protocol configuration of a speedup figure.
+// When Shard is set, the LP graph is clustered into one shard per worker
+// (topology-aware membership) before the run: events inside a shard execute
+// sequentially with zero protocol overhead and the PDES protocol runs only
+// between shards.
 type ConfigSpec struct {
-	Name string
-	Cfg  pdes.Config
+	Name  string
+	Cfg   pdes.Config
+	Shard bool
 }
 
 // PaperConfigs returns the four configurations of the paper's speedup
@@ -37,10 +42,10 @@ type ConfigSpec struct {
 // conservative, rest optimistic) and dynamic self-adapting.
 func PaperConfigs() []ConfigSpec {
 	return []ConfigSpec{
-		{"cons", pdes.Config{Protocol: pdes.ProtoConservative}},
-		{"opt", pdes.Config{Protocol: pdes.ProtoOptimistic}},
-		{"mixed", pdes.Config{Protocol: pdes.ProtoMixed}},
-		{"dynamic", pdes.Config{Protocol: pdes.ProtoDynamic}},
+		{Name: "cons", Cfg: pdes.Config{Protocol: pdes.ProtoConservative}},
+		{Name: "opt", Cfg: pdes.Config{Protocol: pdes.ProtoOptimistic}},
+		{Name: "mixed", Cfg: pdes.Config{Protocol: pdes.ProtoMixed}},
+		{Name: "dynamic", Cfg: pdes.Config{Protocol: pdes.ProtoDynamic}},
 	}
 }
 
@@ -97,8 +102,16 @@ func Speedup(build func() *circuits.Circuit, until vtime.Time, workers []int,
 					cfg.ThrottleWindow = 4 * c.ClockHalf
 				}
 			}
+			runSys := c.Design.Build()
+			if cs.Shard {
+				ss, serr := pdes.ShardSystem(runSys, w, pdes.PartitionTopo)
+				if serr != nil {
+					return nil, 0, fmt.Errorf("%s config %s w=%d: %w", c.Name, cs.Name, w, serr)
+				}
+				runSys = ss.Sys()
+			}
 			start := time.Now()
-			res, err := pdes.Run(c.Design.Build(), cfg, until, nil)
+			res, err := pdes.Run(runSys, cfg, until, nil)
 			if err != nil {
 				return nil, 0, fmt.Errorf("%s config %s w=%d: %w", c.Name, cs.Name, w, err)
 			}

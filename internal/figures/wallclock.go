@@ -19,21 +19,28 @@ type WallClockCircuit struct {
 }
 
 // WallClockCircuits are the circuits the wall-clock suite sweeps. FSM is the
-// headline workload (delta-cycle heavy, mixed-protocol friendly); IIR covers
-// the gate-level regime.
+// headline workload (delta-cycle heavy, mixed-protocol friendly); IIR and DCT
+// cover the gate-level regime.
 func WallClockCircuits() []WallClockCircuit {
 	return []WallClockCircuit{
 		{"FSM", FSMCircuit},
 		{"IIR", IIRCircuit},
+		{"DCT", DCTCircuit},
 	}
 }
 
 // WallClockConfigs returns the protocol configurations measured by the
-// wall-clock suite: the sequential oracle plus the paper's four parallel
-// protocols.
+// wall-clock suite: the sequential oracle, the paper's four parallel
+// protocols, and three sharded configurations (one shard per worker,
+// intra-shard sequential execution, protocol only between shards).
 func WallClockConfigs() []ConfigSpec {
-	return append([]ConfigSpec{{Name: "seq", Cfg: pdes.Config{Protocol: pdes.ProtoSequential}}},
+	specs := append([]ConfigSpec{{Name: "seq", Cfg: pdes.Config{Protocol: pdes.ProtoSequential}}},
 		PaperConfigs()...)
+	return append(specs,
+		ConfigSpec{Name: "cons-shard", Cfg: pdes.Config{Protocol: pdes.ProtoConservative, Lookahead: true, GVTAdapt: true}, Shard: true},
+		ConfigSpec{Name: "opt-shard", Cfg: pdes.Config{Protocol: pdes.ProtoOptimistic, Lookahead: true}, Shard: true},
+		ConfigSpec{Name: "dynamic-shard", Cfg: pdes.Config{Protocol: pdes.ProtoDynamic, Lookahead: true, GVTAdapt: true}, Shard: true},
+	)
 }
 
 // defaultThrottle applies the same optimism bound Speedup uses when the
@@ -55,12 +62,22 @@ func defaultThrottle(c *circuits.Circuit, cfg *pdes.Config) {
 // verification excluded). The run is verified against the circuit's bit-true
 // reference model, so a point is only reported for a correct simulation.
 func MeasureWallClock(build func() *circuits.Circuit, until vtime.Time,
-	circuitName, cfgName string, cfg pdes.Config, workers int) (stats.WallClockPoint, error) {
+	circuitName string, cs ConfigSpec, workers int) (stats.WallClockPoint, error) {
 
 	c := build()
+	cfg := cs.Cfg
 	cfg.Workers = workers
 	defaultThrottle(c, &cfg)
 	sys := c.Design.Build()
+	shards := 0
+	if cs.Shard {
+		shards = workers
+		ss, serr := pdes.ShardSystem(sys, shards, pdes.PartitionTopo)
+		if serr != nil {
+			return stats.WallClockPoint{}, fmt.Errorf("%s/%s w=%d: %w", circuitName, cs.Name, workers, serr)
+		}
+		sys = ss.Sys()
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -70,18 +87,21 @@ func MeasureWallClock(build func() *circuits.Circuit, until vtime.Time,
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return stats.WallClockPoint{}, fmt.Errorf("%s/%s w=%d: %w", circuitName, cfgName, workers, err)
+		return stats.WallClockPoint{}, fmt.Errorf("%s/%s w=%d: %w", circuitName, cs.Name, workers, err)
 	}
 	if err := c.Verify(until); err != nil {
-		return stats.WallClockPoint{}, fmt.Errorf("%s/%s w=%d verification: %w", circuitName, cfgName, workers, err)
+		return stats.WallClockPoint{}, fmt.Errorf("%s/%s w=%d verification: %w", circuitName, cs.Name, workers, err)
 	}
 	events := res.Metrics.Events
 	p := stats.WallClockPoint{
-		Circuit: circuitName,
-		Config:  cfgName,
-		Workers: workers,
-		Events:  events,
-		WallMs:  float64(wall.Nanoseconds()) / 1e6,
+		Circuit:    circuitName,
+		Config:     cs.Name,
+		Workers:    workers,
+		Shards:     shards,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Events:     events,
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+		Makespan:   res.Makespan,
 	}
 	if events > 0 {
 		p.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
@@ -107,6 +127,7 @@ func WallClockSuite(scale Scale, workers, reps int, progress io.Writer) (*stats.
 	}
 	for _, wc := range WallClockCircuits() {
 		build, until := wc.Circuit(scale)
+		seqMakespan := 0.0
 		for _, cs := range WallClockConfigs() {
 			w := workers
 			if cs.Cfg.Protocol == pdes.ProtoSequential {
@@ -114,7 +135,7 @@ func WallClockSuite(scale Scale, workers, reps int, progress io.Writer) (*stats.
 			}
 			var best stats.WallClockPoint
 			for r := 0; r < reps; r++ {
-				p, err := MeasureWallClock(build, until, wc.Name, cs.Name, cs.Cfg, w)
+				p, err := MeasureWallClock(build, until, wc.Name, cs, w)
 				if err != nil {
 					return nil, err
 				}
@@ -122,10 +143,17 @@ func WallClockSuite(scale Scale, workers, reps int, progress io.Writer) (*stats.
 					best = p
 				}
 			}
+			// The sequential oracle is the first configuration of the sweep;
+			// its makespan anchors every modeled speedup of this circuit.
+			if cs.Cfg.Protocol == pdes.ProtoSequential {
+				seqMakespan = best.Makespan
+			} else if seqMakespan > 0 && best.Makespan > 0 {
+				best.ModeledSpeedup = seqMakespan / best.Makespan
+			}
 			rep.Points = append(rep.Points, best)
 			if progress != nil {
-				fmt.Fprintf(progress, "# wallclock %s/%-8s w=%d  %8.0f ns/event  %6.2f allocs/event  %7.0f B/event  (%d events)\n",
-					best.Circuit, best.Config, best.Workers, best.NsPerEvent, best.AllocsPerEvent, best.BytesPerEvent, best.Events)
+				fmt.Fprintf(progress, "# wallclock %s/%-13s w=%d  %8.0f ns/event  %6.2f allocs/event  %7.0f B/event  (%d events, modeled speedup %.2f)\n",
+					best.Circuit, best.Config, best.Workers, best.NsPerEvent, best.AllocsPerEvent, best.BytesPerEvent, best.Events, best.ModeledSpeedup)
 			}
 		}
 	}

@@ -28,6 +28,11 @@ type controller struct {
 	prevGVT       vtime.VT
 	prevProcessed uint64
 	sinceCkpt     int // committed rounds since the last checkpoint cut
+	// Adaptive GVT cadence (Config.GVTAdapt): the current interval and the
+	// cumulative worker-to-worker message total at the previous round, whose
+	// per-round delta measures the partition cut's traffic.
+	interval int
+	prevSent uint64
 
 	// Per-round scratch and message pool: the round protocol gives the
 	// controller exclusive use of these between a broadcast and the last
@@ -258,6 +263,14 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 			" (user-consistent conservative ordering without lookahead blocks, per the paper)"})
 		return false, true
 	}
+	if c.cfg.GVTAdapt && !isDone {
+		var totalSent uint64
+		for w := 1; w <= c.workers; w++ {
+			totalSent += expect[w]
+		}
+		c.retuneCadence(totalSent-c.prevSent, totalProcessed-c.prevProcessed)
+		c.prevSent = totalSent
+	}
 	c.rounds++
 	c.prevGVT, c.prevProcessed = gvt, totalProcessed
 
@@ -282,6 +295,7 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		m.OptLPs = optLPs
 		m.Done = isDone
 		m.Ckpt = ckpt
+		m.NextGVT = c.interval
 		c.ep.Send(w, m)
 	}
 	if isDone {
@@ -291,6 +305,32 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		return false, c.checkpointRound(gvt)
 	}
 	return isDone, false
+}
+
+// retuneCadence adapts the GVT interval to the observed cut traffic: when
+// few of the round's processed events crossed workers (a well-partitioned or
+// sharded run — synchronization is pure overhead), the interval doubles;
+// when the cut is dense (remote messages drive progress and bound optimism),
+// it halves. Bounded by [GVTEvery, GVTEveryMax]. Only the event-count
+// trigger is affected; idle-triggered rounds keep progress and termination
+// independent of the cadence, and the committed trace is invariant to round
+// timing by construction.
+func (c *controller) retuneCadence(sentDelta, procDelta uint64) {
+	if c.interval == 0 {
+		c.interval = c.cfg.GVTEvery
+	}
+	switch {
+	case sentDelta*8 < procDelta:
+		c.interval *= 2
+		if c.interval > c.cfg.GVTEveryMax {
+			c.interval = c.cfg.GVTEveryMax
+		}
+	case sentDelta*2 > procDelta:
+		c.interval /= 2
+		if c.interval < c.cfg.GVTEvery {
+			c.interval = c.cfg.GVTEvery
+		}
+	}
 }
 
 // checkpointRound coordinates a checkpoint cut after broadcasting a

@@ -33,6 +33,16 @@ type Endpoint interface {
 	QueueLen() int
 }
 
+// batchReceiver is an optional Endpoint extension: drain every immediately
+// available message in one synchronized operation. Workers use it when
+// present (the in-process mailbox implements it) to pay one lock acquisition
+// per scheduling pass instead of one per message.
+type batchReceiver interface {
+	// TryRecvAll appends all immediately available messages to buf in
+	// arrival order and returns it; buf may be nil.
+	TryRecvAll(buf []*Msg) []*Msg
+}
+
 // mailbox is an unbounded MPSC queue. Unboundedness matters: with bounded
 // channels two workers sending to each other through full buffers would
 // deadlock.
@@ -42,6 +52,11 @@ type mailbox struct {
 	queue  []*Msg
 	head   int
 	closed bool
+	// waiting is the number of takers blocked in cond.Wait (0 or 1: the
+	// queue is single-consumer). Producers skip the Signal syscall entirely
+	// while the consumer is running — the common case under load, where the
+	// consumer drains in batches and only parks when truly idle.
+	waiting int
 	// poison, once set, short-circuits take/tryTake: each call returns a
 	// fresh PoisonMsg so concurrent and repeated receives all observe death
 	// (poison messages are never recycled).
@@ -57,8 +72,11 @@ func newMailbox() *mailbox {
 func (mb *mailbox) put(m *Msg) {
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, m)
+	wake := mb.waiting > 0
 	mb.mu.Unlock()
-	mb.cond.Signal()
+	if wake {
+		mb.cond.Signal()
+	}
 }
 
 // putAll appends a batch under one lock acquisition. A single Signal
@@ -67,8 +85,11 @@ func (mb *mailbox) put(m *Msg) {
 func (mb *mailbox) putAll(ms []*Msg) {
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, ms...)
+	wake := mb.waiting > 0
 	mb.mu.Unlock()
-	mb.cond.Signal()
+	if wake {
+		mb.cond.Signal()
+	}
 }
 
 func (mb *mailbox) take() *Msg {
@@ -78,12 +99,37 @@ func (mb *mailbox) take() *Msg {
 		return PoisonMsg(mb.poison)
 	}
 	for mb.head >= len(mb.queue) {
+		mb.waiting++
 		mb.cond.Wait()
+		mb.waiting--
 		if mb.poison != nil {
 			return PoisonMsg(mb.poison)
 		}
 	}
 	return mb.pop()
+}
+
+// drainAll appends every queued message to buf and empties the queue under
+// one lock acquisition.
+func (mb *mailbox) drainAll(buf []*Msg) []*Msg {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.poison != nil {
+		return append(buf, PoisonMsg(mb.poison))
+	}
+	buf = append(buf, mb.queue[mb.head:]...)
+	for i := mb.head; i < len(mb.queue); i++ {
+		mb.queue[i] = nil
+	}
+	// Keep the backing array for reuse unless a burst left it oversized, so
+	// a GVT drain after heavy optimism does not pin its high-water memory.
+	if cap(mb.queue) > 1024 {
+		mb.queue = nil
+	} else {
+		mb.queue = mb.queue[:0]
+	}
+	mb.head = 0
+	return buf
 }
 
 func (mb *mailbox) tryTake() (*Msg, bool) {
@@ -185,6 +231,11 @@ func (e *localEndpoint) SendBatch(dst int, ms []*Msg) {
 func (e *localEndpoint) Recv() *Msg            { return e.fabric.boxes[e.self].take() }
 func (e *localEndpoint) TryRecv() (*Msg, bool) { return e.fabric.boxes[e.self].tryTake() }
 func (e *localEndpoint) QueueLen() int         { return e.fabric.boxes[e.self].depth() }
+
+// TryRecvAll implements batchReceiver.
+func (e *localEndpoint) TryRecvAll(buf []*Msg) []*Msg {
+	return e.fabric.boxes[e.self].drainAll(buf)
+}
 
 // Poison kills the whole local fabric: every endpoint of this process starts
 // returning poison, matching the PoisonMsg contract for a dead substrate.

@@ -132,6 +132,11 @@ const (
 	// PartitionBlock assigns contiguous index ranges, which for generated
 	// circuits keeps neighbourhoods together (ablation).
 	PartitionBlock
+	// PartitionTopo grows balanced regions over the wiring graph (greedy
+	// BFS edge-cut), co-locating connected signal+process neighbourhoods so
+	// the cross-partition cut — and hence protocol traffic — is minimized.
+	// Used both for LP-to-worker assignment and for shard membership.
+	PartitionTopo
 )
 
 // Config parameterizes a parallel run.
@@ -157,6 +162,17 @@ type Config struct {
 	// are also triggered whenever all workers go idle.
 	GVTEvery int
 
+	// GVTAdapt lets the controller retune the GVT cadence each round from
+	// the observed cut traffic: when few remote messages crossed workers
+	// relative to events processed (a well-partitioned or sharded run), the
+	// interval doubles; when the cut is dense it halves. The interval stays
+	// within [GVTEvery, GVTEveryMax]. Synchronization frequency then scales
+	// with cut traffic, not event count; idle-triggered rounds are
+	// unaffected, so progress and termination do not depend on the cadence.
+	GVTAdapt bool
+	// GVTEveryMax bounds the adaptive interval (default 16*GVTEvery).
+	GVTEveryMax int
+
 	// ThrottleWindow, when positive, prevents optimistic LPs from running
 	// more than this much physical time ahead of GVT (memory bound).
 	ThrottleWindow vtime.Time
@@ -173,6 +189,13 @@ type Config struct {
 	// no safe events) at more than this fraction of scheduling
 	// opportunities switches to optimistic. Default 0.7.
 	AdaptBlockedHi float64
+	// AdaptCooldown is the number of GVT rounds an adapted LP holds its new
+	// mode before it may be re-proposed for switching (dynamic protocol
+	// only; default 2, negative disables). Without a cooldown an LP whose
+	// two windows straddle both thresholds thrashes between modes, paying a
+	// rollback-commit cycle per switch — the source of the dynamic-mode
+	// regression on filter pipelines.
+	AdaptCooldown int
 
 	// StallTimeout, when positive, arms the GVT stall watchdog: if the
 	// committed GVT does not advance for this long of wall-clock time, the
@@ -225,6 +248,18 @@ func (c *Config) fillDefaults() {
 	}
 	if c.GVTEvery <= 0 {
 		c.GVTEvery = 4096
+	}
+	if c.GVTEveryMax <= 0 {
+		c.GVTEveryMax = 16 * c.GVTEvery
+	}
+	if c.GVTEveryMax < c.GVTEvery {
+		c.GVTEveryMax = c.GVTEvery
+	}
+	if c.AdaptCooldown == 0 {
+		c.AdaptCooldown = 2
+	}
+	if c.AdaptCooldown < 0 {
+		c.AdaptCooldown = 0
 	}
 	if c.Costs == (stats.CostModel{}) {
 		c.Costs = stats.Default()

@@ -66,6 +66,9 @@ type lpRT struct {
 	rolled      uint64 // events rolled back
 	wakes       uint64 // scheduling attempts
 	blockedHits uint64 // scheduling attempts with pending but unsafe events
+	// switchRound is the GVT round of the last dynamic mode switch
+	// (0 = never switched), for Config.AdaptCooldown.
+	switchRound uint64
 
 	edges  []edgeIn
 	edgeOf map[LPID]int // src LPID -> index into edges

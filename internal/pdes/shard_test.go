@@ -1,0 +1,331 @@
+package pdes
+
+import (
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+
+	"govhdl/internal/vtime"
+)
+
+func init() {
+	gob.Register(0) // relay token payloads inside sharded checkpoint blobs
+}
+
+// runShardedRing builds a fresh relay ring, shards it and runs the shard
+// system, returning the member-attributed sorted trace and final sums.
+func runShardedRing(t *testing.T, n, seeds, x0, shards int, part Partition, cfg Config) ([]string, []int64) {
+	t.Helper()
+	sys, models := buildRelayRing(n, seeds, x0)
+	ss, err := ShardSystem(sys, shards, part)
+	if err != nil {
+		t.Fatalf("ShardSystem: %v", err)
+	}
+	sink := &collector{}
+	res, err := Run(ss.Sys(), cfg, relayHorizon, ss.WrapSink(sink))
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if res.GVT.Less(vtime.VT{PT: relayHorizon}) {
+		t.Errorf("final GVT %v below horizon", res.GVT)
+	}
+	sums := make([]int64, n)
+	for i, m := range models {
+		sums[i] = m.sum
+	}
+	return sink.sorted(), sums
+}
+
+// TestShardedMatchesSequential is the core sharding invariant: any shard
+// count, worker count, protocol and partitioner must reproduce the
+// sequential oracle's committed trace and final model states exactly.
+func TestShardedMatchesSequential(t *testing.T) {
+	const n, seeds, x0 = 12, 3, 40
+	want, wantSums := runOracle(t, n, seeds, x0)
+	protos := []Protocol{ProtoConservative, ProtoOptimistic, ProtoMixed, ProtoDynamic}
+	for _, proto := range protos {
+		for _, shards := range []int{1, 3, 5} {
+			for _, part := range []Partition{PartitionRoundRobin, PartitionTopo} {
+				workers := shards
+				if workers > 2 {
+					workers = 2
+				}
+				name := fmt.Sprintf("%v/s%d/p%d", proto, shards, part)
+				t.Run(name, func(t *testing.T) {
+					got, sums := runShardedRing(t, n, seeds, x0, shards, part, Config{
+						Workers:   workers,
+						Protocol:  proto,
+						Lookahead: true,
+						GVTEvery:  256,
+					})
+					if strings.Join(got, "\n") != strings.Join(want, "\n") {
+						t.Errorf("trace mismatch: got %d records, want %d", len(got), len(want))
+						for i := 0; i < len(got) && i < len(want); i++ {
+							if got[i] != want[i] {
+								t.Errorf("first diff at %d: got %q want %q", i, got[i], want[i])
+								break
+							}
+						}
+					}
+					for i := range sums {
+						if sums[i] != wantSums[i] {
+							t.Errorf("relay%d sum = %d, want %d", i, sums[i], wantSums[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedAdaptiveGVT checks that the cut-traffic-adaptive cadence leaves
+// the committed trace untouched.
+func TestShardedAdaptiveGVT(t *testing.T) {
+	const n, seeds, x0 = 12, 3, 40
+	want, _ := runOracle(t, n, seeds, x0)
+	got, _ := runShardedRing(t, n, seeds, x0, 4, PartitionTopo, Config{
+		Workers:     2,
+		Protocol:    ProtoDynamic,
+		Lookahead:   true,
+		GVTEvery:    64,
+		GVTAdapt:    true,
+		GVTEveryMax: 4096,
+	})
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("adaptive-GVT trace mismatch: got %d records, want %d", len(got), len(want))
+	}
+}
+
+// TestShardedThrottled exercises shard rollback under a tight optimism
+// window and memory budget, where shard snapshots are saved and restored
+// constantly.
+func TestShardedThrottled(t *testing.T) {
+	const n, seeds, x0 = 12, 3, 40
+	want, wantSums := runOracle(t, n, seeds, x0)
+	got, sums := runShardedRing(t, n, seeds, x0, 4, PartitionTopo, Config{
+		Workers:        2,
+		Protocol:       ProtoOptimistic,
+		GVTEvery:       64,
+		ThrottleWindow: 20 * vtime.NS,
+		MemBudget:      1 << 20,
+	})
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("throttled sharded trace mismatch: got %d records, want %d", len(got), len(want))
+	}
+	for i := range sums {
+		if sums[i] != wantSums[i] {
+			t.Errorf("relay%d sum = %d, want %d", i, sums[i], wantSums[i])
+		}
+	}
+}
+
+// TestShardedCheckpointRestore takes a checkpoint mid-run of a sharded
+// system and restores it into a freshly built sharded system: the restored
+// run must complete with the oracle's trace.
+func TestShardedCheckpointRestore(t *testing.T) {
+	const n, seeds, x0, shards = 12, 3, 40, 4
+	want, _ := runOracle(t, n, seeds, x0)
+
+	var ck *Checkpoint
+	cfg := Config{
+		Workers:          2,
+		Protocol:         ProtoMixed,
+		GVTEvery:         32,
+		CheckpointRounds: 2,
+		CheckpointSink: func(c *Checkpoint) error {
+			if ck == nil {
+				ck = c // keep the first cut: restore replays the most history
+			}
+			return nil
+		},
+	}
+	if _, _ = runShardedRing(t, n, seeds, x0, shards, PartitionTopo, cfg); ck == nil {
+		t.Skip("run finished before the first checkpoint cut")
+	}
+
+	sys, models := buildRelayRing(n, seeds, x0)
+	ss, err := ShardSystem(sys, shards, PartitionTopo)
+	if err != nil {
+		t.Fatalf("ShardSystem: %v", err)
+	}
+	sink := &collector{}
+	cfg.Restore = ck
+	cfg.CheckpointSink = func(*Checkpoint) error { return nil }
+	if _, err := Run(ss.Sys(), cfg, relayHorizon, ss.WrapSink(sink)); err != nil {
+		t.Fatalf("restored sharded run: %v", err)
+	}
+	got := sink.sorted()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("restored trace mismatch: got %d records, want %d", len(got), len(want))
+		for i := 0; i < len(got) && i < len(want); i++ {
+			if got[i] != want[i] {
+				t.Errorf("first diff at %d: got %q want %q", i, got[i], want[i])
+				break
+			}
+		}
+	}
+	_ = models
+}
+
+func TestShardSystemValidation(t *testing.T) {
+	sys, _ := buildRelayRing(6, 2, 10)
+	if _, err := ShardSystem(sys, 0, PartitionTopo); err == nil {
+		t.Error("0 shards not rejected")
+	}
+	if _, err := ShardSystem(sys, 7, PartitionTopo); err == nil {
+		t.Error("more shards than LPs not rejected")
+	}
+	sys2, _ := buildRelayRing(6, 2, 10)
+	sys2.SetComparator(func(a, b *Event) bool { return a.ID < b.ID })
+	if _, err := ShardSystem(sys2, 2, PartitionTopo); err == nil {
+		t.Error("user-consistent comparator not rejected")
+	}
+}
+
+// cutSize counts directed edges crossing the partition.
+func cutSize(sys *System, groups [][]LPID) int {
+	owner := make([]int, sys.NumLPs())
+	for p, g := range groups {
+		for _, id := range g {
+			owner[id] = p
+		}
+	}
+	cut := 0
+	for id := 0; id < sys.NumLPs(); id++ {
+		for _, dst := range sys.Fanout(LPID(id)) {
+			if owner[id] != owner[dst] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// TestTopoPartition checks balance, determinism, full coverage and that the
+// topology-aware cut beats round-robin on a locally connected graph.
+func TestTopoPartition(t *testing.T) {
+	sys, _ := buildRelayRing(24, 4, 20)
+	const parts = 4
+	topo := sys.partition(PartitionTopo, parts)
+	again := sys.partition(PartitionTopo, parts)
+	seen := make([]bool, sys.NumLPs())
+	total := 0
+	for p, g := range topo {
+		if len(g) < 5 || len(g) > 7 {
+			t.Errorf("part %d has %d LPs, want balanced (~6)", p, len(g))
+		}
+		total += len(g)
+		for i, id := range g {
+			if seen[id] {
+				t.Errorf("LP %d assigned twice", id)
+			}
+			seen[id] = true
+			if again[p][i] != id {
+				t.Fatalf("topoPartition is not deterministic at part %d index %d", p, i)
+			}
+		}
+	}
+	if total != sys.NumLPs() {
+		t.Fatalf("assigned %d of %d LPs", total, sys.NumLPs())
+	}
+	rr := sys.partition(PartitionRoundRobin, parts)
+	if ct, cr := cutSize(sys, topo), cutSize(sys, rr); ct >= cr {
+		t.Errorf("topo cut %d not smaller than round-robin cut %d", ct, cr)
+	}
+}
+
+// TestShardLookahead checks the entry-to-exit path bound on a hand-built
+// chain: in(other shard) -> a(la 2ns) -> b(la 3ns) -> out(other shard).
+func TestShardLookahead(t *testing.T) {
+	sys := NewSystem()
+	mk := func(name string, la vtime.Time, lt uint64) LPID {
+		return sys.AddLP(name, &relay{}, WithLookahead(la), WithLTLookahead(lt))
+	}
+	in := mk("in", 0, 0)
+	a := mk("a", 2*vtime.NS, 1)
+	b := mk("b", 3*vtime.NS, 2)
+	out := mk("out", 0, 0)
+	sys.Connect(in, a)
+	sys.Connect(a, b)
+	sys.Connect(b, out)
+
+	shardOf := []LPID{0, 1, 1, 2}
+	pt, lt, bounded := shardLookahead(sys, shardOf, 1, []LPID{a, b})
+	if !bounded {
+		t.Fatal("chain shard reported unbounded")
+	}
+	if pt != 5*vtime.NS {
+		t.Errorf("PT lookahead = %v, want 5ns", pt)
+	}
+	if lt != 3 {
+		t.Errorf("LT lookahead = %d, want 3", lt)
+	}
+
+	// A shard whose members never feed another shard has no exit: bounded
+	// must be false so the promise relies on pending events alone.
+	if _, _, bounded := shardLookahead(sys, []LPID{0, 0, 1, 1}, 1, []LPID{b, out}); bounded {
+		// b -> out is intra-shard and out has no fan-out; no exit exists.
+		t.Error("exit-free shard reported bounded")
+	}
+}
+
+// TestMailboxTryRecvAll checks the batched drain: order preserved, queue
+// emptied, and a blocked take still wakes under the waiting-gated Signal.
+func TestMailboxTryRecvAll(t *testing.T) {
+	eps := NewLocalFabric(2)
+	br, ok := eps[1].(batchReceiver)
+	if !ok {
+		t.Fatal("local endpoint does not implement batchReceiver")
+	}
+	for i := 0; i < 5; i++ {
+		eps[0].Send(1, &Msg{Kind: msgEvent, Round: uint64(i)})
+	}
+	buf := br.TryRecvAll(nil)
+	if len(buf) != 5 {
+		t.Fatalf("drained %d messages, want 5", len(buf))
+	}
+	for i, m := range buf {
+		if m.Round != uint64(i) {
+			t.Fatalf("message %d out of order: Round=%d", i, m.Round)
+		}
+	}
+	if got := br.TryRecvAll(buf[:0]); len(got) != 0 {
+		t.Fatalf("second drain returned %d messages", len(got))
+	}
+	done := make(chan *Msg)
+	go func() { done <- eps[1].Recv() }()
+	eps[0].Send(1, &Msg{Kind: msgNull})
+	if m := <-done; m.Kind != msgNull {
+		t.Fatalf("blocked Recv woke with kind %d", m.Kind)
+	}
+}
+
+// TestModeProposalsHeavyStateStaysConservative checks the paper's heavy-state
+// rule in the dynamic adaptor: a conservative LP whose snapshot is far above
+// the default (a shard wrapping many members, a large memory) is never
+// proposed for optimism however often it blocks, because it would pay that
+// snapshot on every optimistic execution.
+func TestModeProposalsHeavyStateStaysConservative(t *testing.T) {
+	cfg := Config{Protocol: ProtoDynamic}
+	cfg.fillDefaults()
+	mk := func(id LPID, snap int64) *lpRT {
+		return &lpRT{
+			decl:        &lpDecl{id: id},
+			mode:        Conservative,
+			wakes:       16,
+			blockedHits: 16, // blocked on every wake: maximally opt-eligible
+			snapBytes:   snap,
+		}
+	}
+	light := mk(0, memSnapDefault)
+	heavy := mk(1, adaptSnapCap+1)
+	w := &worker{cfg: &cfg, owned: []*lpRT{light, heavy}}
+	props := w.modeProposals()
+	if len(props) != 1 {
+		t.Fatalf("got %d proposals %v, want exactly 1 (the light LP)", len(props), props)
+	}
+	if props[0].LP != 0 || props[0].Mode != Optimistic {
+		t.Fatalf("proposal %v, want LP 0 -> Optimistic", props[0])
+	}
+}

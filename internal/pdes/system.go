@@ -197,6 +197,8 @@ func (s *System) partition(p Partition, workers int) [][]LPID {
 	owned := make([][]LPID, workers)
 	n := len(s.lps)
 	switch p {
+	case PartitionTopo:
+		return topoPartition(s, workers)
 	case PartitionBlock:
 		per := (n + workers - 1) / workers
 		for i := 0; i < n; i++ {
@@ -250,6 +252,13 @@ type Ctx struct {
 	sys    *System
 	emit   func(dst LPID, ts vtime.VT, kind uint8, data any)
 	record func(item any)
+	// charge adjusts the engine's processed-event accounting by delta.
+	// Set only by the parallel workers and used only by shard super-LPs,
+	// which execute many member events per engine event: charging the
+	// difference keeps event metrics, the modeled cost clock and the GVT
+	// cadence in member-event units, comparable across sharded and
+	// unsharded runs.
+	charge func(delta int64)
 }
 
 // Record emits a trace record attributed to the executing LP at Now(). The

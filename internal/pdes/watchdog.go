@@ -56,6 +56,13 @@ const (
 	// memSnapShared is charged when copy-on-write state saving reuses the
 	// previous snapshot: only a reference is retained.
 	memSnapShared = 16
+	// adaptSnapCap is the snapshot size above which the dynamic protocol
+	// stops proposing Conservative -> Optimistic switches: the paper's
+	// heavy-state rule applied at runtime. An LP whose state save costs
+	// several defaults per event (a shard wrapping many members, a large
+	// memory) pays that on every optimistic execution, a cost the
+	// blocked-ratio heuristic cannot observe.
+	adaptSnapCap = 4 * memSnapDefault
 )
 
 // runState is shared by the workers, the controller and the watchdog of one

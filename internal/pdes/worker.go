@@ -103,9 +103,19 @@ type worker struct {
 	execTotal   uint64
 	execAtRound uint64
 	requested   bool
+	// gvtEvery is the current GVT request interval; starts at
+	// Config.GVTEvery and retuned by the controller each round when
+	// Config.GVTAdapt is set.
+	gvtEvery int
+	// roundNo counts applied GVT rounds, for the adaptation cooldown.
+	roundNo uint64
 
 	paused   bool
 	deferred []deferredMsg // remote sends generated while paused
+	// batchEp is the endpoint's optional batched-drain extension (local
+	// mailboxes implement it); recvBuf is its reusable receive buffer.
+	batchEp batchReceiver
+	recvBuf []*Msg
 	// localQ holds local deliveries until the top of the scheduling loop:
 	// routing synchronously from inside Execute (or inside another
 	// rollback) could roll back the very LP that is executing, or re-enter
@@ -200,10 +210,27 @@ func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
 		w.lps[id] = lp
 		w.owned = append(w.owned, lp)
 	}
-	w.ctx = &Ctx{sys: sys, emit: w.emit, record: w.recordItem}
+	w.ctx = &Ctx{sys: sys, emit: w.emit, record: w.recordItem, charge: w.chargeEvents}
+	w.gvtEvery = cfg.GVTEvery
+	w.batchEp, _ = ep.(batchReceiver)
 	w.logCommits = cfg.CheckpointRounds > 0
 	w.restore = cfg.Restore
 	return w
+}
+
+// chargeEvents reconciles shard super-LP execution with per-member-event
+// accounting (see Ctx.charge): a shard that drained n member events charges
+// n-1 on top of the engine's own count of 1, so event metrics, the modeled
+// cost clock and the GVT cadence stay in member-event units. Suppressed
+// during replay — rollback coast-forward and checkpoint restore — exactly
+// like the engine's own event counting.
+func (w *worker) chargeEvents(delta int64) {
+	if w.supSends || delta == 0 {
+		return
+	}
+	w.metrics.Events.Add(uint64(delta))
+	w.execTotal += uint64(delta)
+	w.clock += float64(delta) * w.cfg.Costs.EventCost
 }
 
 func (w *worker) fatal(format string, args ...any) {
@@ -232,13 +259,19 @@ func (w *worker) run() {
 	const batch = 8
 	for {
 		w.publishDiag(false)
-		for {
-			m, ok := w.ep.TryRecv()
-			if !ok {
-				break
-			}
-			if w.handle(m) {
+		if w.batchEp != nil {
+			if w.drainBatch() {
 				return
+			}
+		} else {
+			for {
+				m, ok := w.ep.TryRecv()
+				if !ok {
+					break
+				}
+				if w.handle(m) {
+					return
+				}
 			}
 		}
 		progressed := false
@@ -267,7 +300,7 @@ func (w *worker) run() {
 			if w.handle(m) {
 				return
 			}
-		} else if !w.requested && w.execTotal-w.execAtRound >= uint64(w.cfg.GVTEvery) {
+		} else if !w.requested && w.execTotal-w.execAtRound >= uint64(w.gvtEvery) {
 			w.requested = true
 			m := w.msgPool.get()
 			m.Kind, m.Request, m.Processed = msgIdle, true, w.execTotal
@@ -319,6 +352,31 @@ func (w *worker) initLPs() {
 // handle processes one control or data message in the normal loop. It
 // returns true when the worker should terminate. Event and null messages are
 // recycled here: the receiving worker owns them once decoded.
+// drainBatch empties the mailbox with one locked operation and handles the
+// messages in arrival order. A GVT pause is deferred to the end of the
+// batch: gvtParticipate blocks in Recv, so anything still buffered behind
+// the pause (events sent by workers that had not yet paused) must be handled
+// first or the round's drain accounting would wait for messages this worker
+// is itself holding.
+func (w *worker) drainBatch() (stop bool) {
+	w.recvBuf = w.batchEp.TryRecvAll(w.recvBuf[:0])
+	var pause *Msg
+	for i, m := range w.recvBuf {
+		w.recvBuf[i] = nil
+		if m.Kind == msgGVTPause {
+			pause = m
+			continue
+		}
+		if w.handle(m) {
+			return true
+		}
+	}
+	if pause != nil {
+		return w.handle(pause)
+	}
+	return false
+}
+
 func (w *worker) handle(m *Msg) bool {
 	switch m.Kind {
 	case msgEvent:
@@ -954,6 +1012,10 @@ func (w *worker) applyGVTNew(m *Msg) bool {
 		w.clock = m.Clock
 	}
 	w.clock += w.cfg.Costs.GVTCost
+	w.roundNo++
+	if m.NextGVT > 0 {
+		w.gvtEvery = m.NextGVT
+	}
 
 	w.paused = false
 	for _, d := range w.deferred {
@@ -1031,6 +1093,7 @@ func (w *worker) switchToCons(lp *lpRT) {
 	w.commitHistory(lp)
 	lp.mode = Conservative
 	lp.sinceCkpt = 0
+	lp.switchRound = w.roundNo
 	w.metrics.ModeSwitches.Add(1)
 }
 
@@ -1043,6 +1106,7 @@ func (w *worker) switchToOpt(lp *lpRT) {
 	lp.mode = Optimistic
 	lp.sinceCkpt = 0
 	lp.floor = lp.now
+	lp.switchRound = w.roundNo
 	w.metrics.ModeSwitches.Add(1)
 }
 
@@ -1131,6 +1195,14 @@ func (w *worker) modeProposals() []ModePair {
 		if lp.decl.forced {
 			continue
 		}
+		// Cooldown: a freshly adapted LP holds its mode for AdaptCooldown
+		// rounds. Thrashing between modes pays a rollback-commit cycle per
+		// switch, which is what made dynamic runs slower than either pure
+		// protocol on filter pipelines.
+		if w.cfg.AdaptCooldown > 0 && lp.switchRound != 0 &&
+			w.roundNo-lp.switchRound < uint64(w.cfg.AdaptCooldown) {
+			continue
+		}
 		switch lp.mode {
 		case Optimistic:
 			if lp.execs+lp.rolled >= 16 &&
@@ -1138,6 +1210,13 @@ func (w *worker) modeProposals() []ModePair {
 				props = append(props, ModePair{lp.decl.id, Conservative})
 			}
 		case Conservative:
+			// Heavy-state LPs stay conservative no matter how often they
+			// block: optimism would pay lp.snapBytes per event, which the
+			// blocked-ratio heuristic cannot see. The stall watchdog can
+			// still force optimism on them to break a genuine deadlock.
+			if lp.snapBytes > adaptSnapCap {
+				continue
+			}
 			if lp.wakes >= 4 &&
 				float64(lp.blockedHits) > w.cfg.AdaptBlockedHi*float64(lp.wakes) {
 				props = append(props, ModePair{lp.decl.id, Optimistic})

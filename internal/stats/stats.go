@@ -149,11 +149,19 @@ type WallClockPoint struct {
 	Circuit        string  `json:"circuit"`
 	Config         string  `json:"config"`
 	Workers        int     `json:"workers"`
+	Shards         int     `json:"shards,omitempty"`
+	GoMaxProcs     int     `json:"gomaxprocs,omitempty"`
 	Events         uint64  `json:"events"`
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 	WallMs         float64 `json:"wall_ms"`
+	// Makespan is the virtual-processor cost-model makespan of the run and
+	// ModeledSpeedup the circuit's sequential cost divided by it — the same
+	// quantity the speedup figures plot, recorded here so the trajectory file
+	// tracks both real and modeled performance per configuration.
+	Makespan       float64 `json:"makespan,omitempty"`
+	ModeledSpeedup float64 `json:"modeled_speedup,omitempty"`
 }
 
 // WallClockReport is a full wall-clock benchmark sweep, serialized to
