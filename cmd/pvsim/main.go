@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -36,6 +35,7 @@ import (
 	"govhdl/internal/faultinject"
 	"govhdl/internal/kernel"
 	"govhdl/internal/pdes"
+	"govhdl/internal/runopts"
 	"govhdl/internal/supervise"
 	"govhdl/internal/trace"
 	"govhdl/internal/transport"
@@ -43,95 +43,76 @@ import (
 	"govhdl/internal/vtime"
 )
 
-// runOpts carries every CLI tunable into run.
+// runOpts carries every CLI tunable into run. The shared surface (the
+// tunables govhdld also exposes, and their validation) lives in
+// internal/runopts; the fields here are pvsim-only.
 type runOpts struct {
-	top       string
-	circuit   string
-	protocol  string
-	workers   int
-	until     string
-	lookahead bool
-	user      bool
-	throttle  string
-	saveEvery int
+	runopts.Opts
+
 	vcd       string
 	showTrace bool
 	showStats bool
 	verify    bool
 	compare   bool
 
-	shards    int
-	partition string
-	gvtAdapt  bool
+	gvtAdapt bool
 
-	listen     string
-	connect    string
-	endpoints  int
 	hosted     string
 	gvtEvery   int
 	hbInterval time.Duration
 	hbTimeout  time.Duration
 
-	ckptFile   string
-	ckptRounds int
-	restore    string
+	ckptFile string
 
-	failover     bool
 	maxFailovers int
-	stallTimeout time.Duration
-	stallPolicy  string
-	memBudget    int64
 
-	faultSeed       int64
-	faultKillWrites int
-	faultDieSends   int
-	faultMuteSends  int
+	faultSeed int64
 
 	files []string
 }
 
 func main() {
 	var o runOpts
-	flag.StringVar(&o.top, "top", "", "top entity to elaborate (with VHDL files)")
-	flag.StringVar(&o.circuit, "circuit", "", "built-in benchmark circuit: fsm, iir or dct")
-	flag.StringVar(&o.protocol, "protocol", "dynamic", "seq, cons, opt, mixed or dynamic")
-	flag.IntVar(&o.workers, "workers", 1, "number of parallel workers")
-	flag.StringVar(&o.until, "until", "", "simulation horizon, e.g. 100ns, 2us (default: circuit default or 1ms)")
-	flag.BoolVar(&o.lookahead, "lookahead", false, "enable null messages (conservative lookahead)")
-	flag.BoolVar(&o.user, "user", false, "user-consistent simultaneous-event ordering")
-	flag.StringVar(&o.throttle, "throttle", "", "optimism bound beyond GVT, e.g. 40ns (0 = unbounded)")
-	flag.IntVar(&o.saveEvery, "checkpoint", 1, "optimistic state-saving interval (events per snapshot)")
+	flag.StringVar(&o.Top, "top", "", "top entity to elaborate (with VHDL files)")
+	flag.StringVar(&o.Circuit, "circuit", "", "built-in benchmark circuit: fsm, iir or dct")
+	flag.StringVar(&o.Protocol, "protocol", "dynamic", "seq, cons, opt, mixed or dynamic")
+	flag.IntVar(&o.Workers, "workers", 1, "number of parallel workers")
+	flag.StringVar(&o.Until, "until", "", "simulation horizon, e.g. 100ns, 2us (default: circuit default or 1ms)")
+	flag.BoolVar(&o.Lookahead, "lookahead", false, "enable null messages (conservative lookahead)")
+	flag.BoolVar(&o.User, "user", false, "user-consistent simultaneous-event ordering")
+	flag.StringVar(&o.Throttle, "throttle", "", "optimism bound beyond GVT, e.g. 40ns (0 = unbounded)")
+	flag.IntVar(&o.SaveEvery, "checkpoint", 1, "optimistic state-saving interval (events per snapshot)")
 	flag.StringVar(&o.vcd, "vcd", "", "write a value change dump to this file")
 	flag.BoolVar(&o.showTrace, "trace", false, "print committed value changes")
 	flag.BoolVar(&o.showStats, "stats", true, "print protocol metrics")
 	flag.BoolVar(&o.verify, "verify", true, "verify built-in circuits against their reference models")
 	flag.BoolVar(&o.compare, "compare", false, "also run the sequential kernel and require identical committed traces")
 
-	flag.StringVar(&o.listen, "listen", "", "distributed: listen address (this process hosts the controller)")
-	flag.StringVar(&o.connect, "connect", "", "distributed: hub address to join")
-	flag.IntVar(&o.endpoints, "endpoints", 0, "distributed: total endpoint count (controller + workers)")
+	flag.StringVar(&o.Listen, "listen", "", "distributed: listen address (this process hosts the controller)")
+	flag.StringVar(&o.Connect, "connect", "", "distributed: hub address to join")
+	flag.IntVar(&o.Endpoints, "endpoints", 0, "distributed: total endpoint count (controller + workers)")
 	flag.StringVar(&o.hosted, "hosted", "", "distributed: comma-separated endpoint ids hosted here")
-	flag.IntVar(&o.shards, "shards", 0, "cluster LPs into this many shards that execute sequentially inside the shard, with the PDES protocol running only between shards (0 = no sharding, one LP per signal/process)")
-	flag.StringVar(&o.partition, "partition", "", "LP-to-worker / shard-membership partitioning: rr (round-robin), block, or topo (graph-aware edge-cut); default topo when -shards is set, rr otherwise")
+	flag.IntVar(&o.Shards, "shards", 0, "cluster LPs into this many shards that execute sequentially inside the shard, with the PDES protocol running only between shards (0 = no sharding, one LP per signal/process)")
+	flag.StringVar(&o.Partition, "partition", "", "LP-to-worker / shard-membership partitioning: rr (round-robin), block, or topo (graph-aware edge-cut); default topo when -shards is set, rr otherwise")
 	flag.IntVar(&o.gvtEvery, "gvt-every", 0, "events per worker between GVT round requests (0 = engine default)")
 	flag.BoolVar(&o.gvtAdapt, "gvt-adapt", false, "retune the GVT cadence each round from observed cut traffic (bounded by 16x the base interval)")
 	flag.DurationVar(&o.hbInterval, "hb-interval", time.Second, "distributed: heartbeat interval (<=0 disables liveness checking)")
 	flag.DurationVar(&o.hbTimeout, "hb-timeout", 5*time.Second, "distributed: declare a silent peer dead after this long")
 
 	flag.StringVar(&o.ckptFile, "checkpoint-file", "", "write a GVT-consistent checkpoint (with the trace-so-far) to this file, atomically, at every cut")
-	flag.IntVar(&o.ckptRounds, "checkpoint-rounds", 0, "committed GVT rounds between checkpoint cuts (default 1 when -checkpoint-file is set; pass the same value to every distributed process)")
-	flag.StringVar(&o.restore, "restore", "", "resume from a checkpoint file written by -checkpoint-file (every distributed process needs the file)")
+	flag.IntVar(&o.CkptRounds, "checkpoint-rounds", 0, "committed GVT rounds between checkpoint cuts (default 1 when -checkpoint-file is set; pass the same value to every distributed process)")
+	flag.StringVar(&o.Restore, "restore", "", "resume from a checkpoint file written by -checkpoint-file (every distributed process needs the file)")
 
-	flag.BoolVar(&o.failover, "failover", false, "on a transport failure, automatically absorb the dead node's LPs and resume from the latest checkpoint (controller process only; needs checkpointing)")
+	flag.BoolVar(&o.Failover, "failover", false, "on a transport failure, automatically absorb the dead node's LPs and resume from the latest checkpoint (controller process only; needs checkpointing)")
 	flag.IntVar(&o.maxFailovers, "max-failovers", supervise.DefaultMaxFailovers, "give up after this many automatic failovers")
-	flag.DurationVar(&o.stallTimeout, "stall-timeout", 0, "fail (or rescue, see -stall-policy) the run if committed GVT does not advance for this long; 0 disables the watchdog")
-	flag.StringVar(&o.stallPolicy, "stall-policy", "fail", "stall remedy: fail (dump diagnostics and exit nonzero) or force-opt (force the blocked conservative LP optimistic, then fail if still stuck)")
-	flag.Int64Var(&o.memBudget, "mem-budget", 0, "bound tracked optimistic memory (events, snapshots, anti-message records) to this many bytes; 0 = unbounded")
+	flag.DurationVar(&o.StallTimeout, "stall-timeout", 0, "fail (or rescue, see -stall-policy) the run if committed GVT does not advance for this long; 0 disables the watchdog")
+	flag.StringVar(&o.StallPolicy, "stall-policy", "fail", "stall remedy: fail (dump diagnostics and exit nonzero) or force-opt (force the blocked conservative LP optimistic, then fail if still stuck)")
+	flag.Int64Var(&o.MemBudget, "mem-budget", 0, "bound tracked optimistic memory (events, snapshots, anti-message records) to this many bytes; 0 = unbounded")
 
 	flag.Int64Var(&o.faultSeed, "fault-seed", 1, "fault injection: PRNG seed (replayable schedules)")
-	flag.IntVar(&o.faultKillWrites, "fault-kill-writes", 0, "fault injection, distributed: hard-close this process's connection after N writes")
-	flag.IntVar(&o.faultDieSends, "fault-die-sends", 0, "fault injection, single-process: kill the fabric after N sends from any endpoint")
-	flag.IntVar(&o.faultMuteSends, "fault-mute-sends", 0, "fault injection, single-process: silently drop each endpoint's sends after its Nth (stalls the run without killing it)")
+	flag.IntVar(&o.FaultKillWrites, "fault-kill-writes", 0, "fault injection, distributed: hard-close this process's connection after N writes")
+	flag.IntVar(&o.FaultDieSends, "fault-die-sends", 0, "fault injection, single-process: kill the fabric after N sends from any endpoint")
+	flag.IntVar(&o.FaultMuteSends, "fault-mute-sends", 0, "fault injection, single-process: silently drop each endpoint's sends after its Nth (stalls the run without killing it)")
 	flag.Parse()
 	o.files = flag.Args()
 
@@ -139,71 +120,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pvsim:", err)
 		os.Exit(1)
 	}
-}
-
-// validateRunOpts rejects flag combinations whose semantics conflict,
-// before any expensive work happens. Callers must apply the
-// -checkpoint-file => -checkpoint-rounds default first.
-func validateRunOpts(o *runOpts, proto pdes.Protocol) error {
-	fault := o.faultKillWrites > 0 || o.faultDieSends > 0 || o.faultMuteSends > 0
-	if o.restore != "" && fault {
-		return fmt.Errorf("-restore cannot be combined with -fault-* flags: a restored run must replay the saved cut faithfully, not inject fresh faults")
-	}
-	if (o.faultDieSends > 0 || o.faultMuteSends > 0) && proto == pdes.ProtoSequential {
-		return fmt.Errorf("fabric fault injection needs a parallel protocol")
-	}
-	if o.failover {
-		if o.ckptRounds <= 0 {
-			return fmt.Errorf("-failover needs -checkpoint-rounds (or -checkpoint-file): recovery resumes from the latest GVT-consistent cut")
-		}
-		if o.connect != "" {
-			return fmt.Errorf("-failover belongs on the controller's process (the -listen hub or a single process), not on a -connect worker")
-		}
-		if proto == pdes.ProtoSequential {
-			return fmt.Errorf("-failover needs a parallel protocol")
-		}
-	}
-	if o.stallPolicy != "fail" && o.stallPolicy != "force-opt" {
-		return fmt.Errorf("-stall-policy must be \"fail\" or \"force-opt\", got %q", o.stallPolicy)
-	}
-	if o.stallTimeout < 0 {
-		return fmt.Errorf("-stall-timeout must be >= 0 (0 disables the watchdog)")
-	}
-	if o.memBudget < 0 {
-		return fmt.Errorf("-mem-budget must be >= 0 (0 = unbounded)")
-	}
-	if (o.listen != "" || o.connect != "") && o.endpoints < 2 {
-		return fmt.Errorf("distributed mode needs -endpoints >= 2")
-	}
-	if o.shards < 0 {
-		return fmt.Errorf("-shards must be >= 0 (0 disables sharding)")
-	}
-	if o.partition != "" {
-		switch strings.ToLower(o.partition) {
-		case "rr", "roundrobin", "round-robin", "block", "topo":
-		default:
-			return fmt.Errorf("-partition must be rr, block or topo, got %q", o.partition)
-		}
-	}
-	if o.restore != "" && (o.shards > 0 || o.partition != "") {
-		return fmt.Errorf("-shards/-partition are recorded in the checkpoint file; -restore derives them (drop the explicit flags)")
-	}
-	if o.shards > 0 {
-		if proto == pdes.ProtoSequential {
-			return fmt.Errorf("-shards needs a parallel protocol (the sequential kernel already runs as one shard)")
-		}
-		if o.user {
-			return fmt.Errorf("-shards cannot be combined with -user: user-consistent ordering is defined on member events, which shards interleave internally")
-		}
-		workers := o.workers
-		if o.listen != "" || o.connect != "" {
-			workers = o.endpoints - 1
-		}
-		if workers > o.shards {
-			return fmt.Errorf("%d workers for %d shards: each shard is owned by one worker, so use -workers <= -shards", workers, o.shards)
-		}
-	}
-	return nil
 }
 
 // checkpointFile is the on-disk restart image: the engine checkpoint plus
@@ -288,9 +204,9 @@ func run(o runOpts) error {
 	// model for the sequential reference run.
 	buildDesign := func(quiet bool) (*kernel.Design, *circuits.Circuit, vtime.Time, error) {
 		switch {
-		case o.circuit != "":
+		case o.Circuit != "":
 			var bench *circuits.Circuit
-			switch strings.ToLower(o.circuit) {
+			switch strings.ToLower(o.Circuit) {
 			case "fsm":
 				bench = circuits.BuildFSM(circuits.FSMOpts{})
 			case "iir":
@@ -298,14 +214,14 @@ func run(o runOpts) error {
 			case "dct":
 				bench = circuits.BuildDCT(circuits.DCTOpts{})
 			default:
-				return nil, nil, 0, fmt.Errorf("unknown circuit %q (fsm, iir or dct)", o.circuit)
+				return nil, nil, 0, fmt.Errorf("unknown circuit %q (fsm, iir or dct)", o.Circuit)
 			}
 			if !quiet {
 				fmt.Printf("circuit: %v\n", bench)
 			}
 			return bench.Design, bench, bench.DefaultHorizon, nil
 		case len(o.files) > 0:
-			if o.top == "" {
+			if o.Top == "" {
 				return nil, nil, 0, fmt.Errorf("-top is required with VHDL files")
 			}
 			lib := vhdl.NewLibrary()
@@ -318,13 +234,13 @@ func run(o runOpts) error {
 					return nil, nil, 0, err
 				}
 			}
-			d, err := lib.Elaborate(o.top)
+			d, err := lib.Elaborate(o.Top)
 			if err != nil {
 				return nil, nil, 0, err
 			}
 			if !quiet {
 				fmt.Printf("design: %s (%d signals + %d processes = %d LPs)\n",
-					o.top, d.NumSignals(), d.NumProcesses(), d.NumLPs())
+					o.Top, d.NumSignals(), d.NumProcesses(), d.NumLPs())
 			}
 			return d, nil, 1 * vtime.MS, nil
 		}
@@ -336,8 +252,8 @@ func run(o runOpts) error {
 		return err
 	}
 
-	if o.until != "" {
-		t, err := parseTime(o.until)
+	if o.Until != "" {
+		t, err := runopts.ParseTime(o.Until)
 		if err != nil {
 			return err
 		}
@@ -345,70 +261,60 @@ func run(o runOpts) error {
 	}
 
 	cfg := pdes.Config{
-		Workers:         o.workers,
-		Lookahead:       o.lookahead,
-		CheckpointEvery: o.saveEvery,
+		Workers:         o.Workers,
+		Lookahead:       o.Lookahead,
+		CheckpointEvery: o.SaveEvery,
 		GVTEvery:        o.gvtEvery,
 		GVTAdapt:        o.gvtAdapt,
 	}
-	switch strings.ToLower(o.protocol) {
-	case "seq", "sequential":
-		cfg.Protocol = pdes.ProtoSequential
-	case "cons", "conservative":
-		cfg.Protocol = pdes.ProtoConservative
-	case "opt", "optimistic":
-		cfg.Protocol = pdes.ProtoOptimistic
-	case "mixed":
-		cfg.Protocol = pdes.ProtoMixed
-	case "dyn", "dynamic":
-		cfg.Protocol = pdes.ProtoDynamic
-	default:
-		return fmt.Errorf("unknown protocol %q", o.protocol)
+	cfg.Protocol, err = runopts.ParseProtocol(o.Protocol)
+	if err != nil {
+		return err
 	}
-	if o.user {
+	if o.User {
 		cfg.Ordering = pdes.OrderUserConsistent
 	}
-	if o.throttle != "" {
-		t, err := parseTime(o.throttle)
+	if o.Throttle != "" {
+		t, err := runopts.ParseTime(o.Throttle)
 		if err != nil {
 			return err
 		}
 		cfg.ThrottleWindow = t
 	}
 
-	distributed := o.listen != "" || o.connect != ""
-	hostsController := o.connect == "" // single-process, or the -listen hub
+	distributed := o.Listen != "" || o.Connect != ""
+	hostsController := o.Connect == "" // single-process, or the -listen hub
 
-	if o.ckptFile != "" && o.ckptRounds <= 0 {
-		o.ckptRounds = 1
+	if o.ckptFile != "" && o.CkptRounds <= 0 {
+		o.CkptRounds = 1
 	}
-	if err := validateRunOpts(&o, cfg.Protocol); err != nil {
+	if err := o.Validate(cfg.Protocol); err != nil {
 		return err
 	}
-	cfg.StallTimeout = o.stallTimeout
-	if o.stallPolicy == "force-opt" {
+	cfg.StallTimeout = o.StallTimeout
+	if o.StallPolicy == "force-opt" {
 		cfg.StallPolicy = pdes.StallForceOpt
 	}
 	cfg.StallDump = func(r *pdes.StallReport) { fmt.Fprint(os.Stderr, r.String()) }
-	cfg.MemBudget = o.memBudget
+	cfg.MemBudget = o.MemBudget
 
 	// Checkpoints (in-memory ones included) carry gob-encoded event payloads
 	// and trace items; make sure every wire type is registered first.
-	if o.ckptFile != "" || o.restore != "" || o.ckptRounds > 0 {
+	if o.ckptFile != "" || o.Restore != "" || o.CkptRounds > 0 {
 		transport.RegisterGob()
 	}
 
-	if o.ckptRounds > 0 {
+	if o.CkptRounds > 0 {
 		if cfg.Protocol == pdes.ProtoSequential {
 			return fmt.Errorf("-checkpoint-rounds needs a parallel protocol (the sequential kernel has no GVT rounds)")
 		}
-		cfg.CheckpointRounds = o.ckptRounds
-		if hostsController && o.ckptFile == "" && !o.failover {
+		cfg.CheckpointRounds = o.CkptRounds
+		if hostsController && o.ckptFile == "" && !o.Failover {
 			return fmt.Errorf("-checkpoint-rounds needs -checkpoint-file on the controller process (or -failover, which keeps cuts in memory)")
 		}
 	}
 	if distributed {
-		cfg.Workers = o.endpoints - 1
+		cfg.Workers = o.Endpoints - 1
 	}
 
 	sup := &supervise.Supervisor{
@@ -423,23 +329,23 @@ func run(o runOpts) error {
 			}
 		},
 	}
-	if o.restore != "" {
+	if o.Restore != "" {
 		// The checkpoint carries the committed prefix as replayable per-LP
 		// logs: the restored run re-emits the full trace itself, so the
 		// recorder starts empty (and failover seeds from the same cut).
-		cf, err := readCheckpointFile(o.restore)
+		cf, err := readCheckpointFile(o.Restore)
 		if err != nil {
 			return err
 		}
 		sup.Checkpoint(cf.Ckpt)
 		// Sharding is part of the checkpoint's identity: the cut was taken
 		// over shard-level LPs, so the restored system must be sharded the
-		// same way (validateRunOpts rejects explicit flags with -restore).
-		o.shards, o.partition = cf.Shards, cf.Partition
-		if o.shards > 0 {
-			fmt.Printf("restoring from %s (GVT %v, round %d, %d shards)\n", o.restore, cf.Ckpt.GVT, cf.Ckpt.Round, o.shards)
+		// same way (Validate rejects explicit flags with -restore).
+		o.Shards, o.Partition = cf.Shards, cf.Partition
+		if o.Shards > 0 {
+			fmt.Printf("restoring from %s (GVT %v, round %d, %d shards)\n", o.Restore, cf.Ckpt.GVT, cf.Ckpt.Round, o.Shards)
 		} else {
-			fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.restore, cf.Ckpt.GVT, cf.Ckpt.Round)
+			fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.Restore, cf.Ckpt.GVT, cf.Ckpt.Round)
 		}
 	}
 
@@ -449,7 +355,7 @@ func run(o runOpts) error {
 	// minimizing the cut is the point of sharding — while unsharded runs keep
 	// the engine's round-robin default.
 	shardPart := pdes.PartitionTopo
-	switch strings.ToLower(o.partition) {
+	switch strings.ToLower(o.Partition) {
 	case "":
 		// keep defaults
 	case "rr", "roundrobin", "round-robin":
@@ -461,11 +367,11 @@ func run(o runOpts) error {
 	case "topo":
 		cfg.Partition = pdes.PartitionTopo
 	default:
-		return fmt.Errorf("unknown partition %q in checkpoint", o.partition)
+		return fmt.Errorf("unknown partition %q in checkpoint", o.Partition)
 	}
-	if o.shards > 0 {
+	if o.Shards > 0 {
 		fmt.Printf("sharding: %d shards, intra-shard sequential, %s membership\n",
-			o.shards, map[pdes.Partition]string{pdes.PartitionRoundRobin: "round-robin", pdes.PartitionBlock: "block", pdes.PartitionTopo: "topology-aware"}[shardPart])
+			o.Shards, map[pdes.Partition]string{pdes.PartitionRoundRobin: "round-robin", pdes.PartitionBlock: "block", pdes.PartitionTopo: "topology-aware"}[shardPart])
 	}
 
 	// Every attempt gets fresh model state and a fresh recorder: attempt 0
@@ -490,8 +396,8 @@ func run(o runOpts) error {
 		// the wrapped sink re-attributes every record to its member LP.
 		runSys := sys
 		var sink pdes.TraceSink = rec
-		if o.shards > 0 {
-			shd, serr := pdes.ShardSystem(sys, o.shards, shardPart)
+		if o.Shards > 0 {
+			shd, serr := pdes.ShardSystem(sys, o.Shards, shardPart)
 			if serr != nil {
 				return nil, serr
 			}
@@ -504,7 +410,7 @@ func run(o runOpts) error {
 			acfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
 				sup.Checkpoint(ck)
 				if o.ckptFile != "" {
-					return writeCheckpointFile(o.ckptFile, ck, rec.Entries(), o.shards, o.partition)
+					return writeCheckpointFile(o.ckptFile, ck, rec.Entries(), o.Shards, o.Partition)
 				}
 				return nil
 			}
@@ -517,39 +423,39 @@ func run(o runOpts) error {
 		}
 		switch {
 		case distributed:
-			hosted, perr := parseInts(o.hosted)
+			hosted, perr := runopts.ParseInts(o.hosted)
 			if perr != nil || len(hosted) == 0 {
 				return nil, fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
 			}
 			topts := []transport.Option{transport.WithHeartbeat(o.hbInterval, o.hbTimeout)}
-			if o.faultKillWrites > 0 {
-				plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.faultKillWrites}
+			if o.FaultKillWrites > 0 {
+				plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.FaultKillWrites}
 				topts = append(topts, transport.WithConnWrapper(plan.Conn()))
-				fmt.Printf("fault injection: killing this process's connection after %d writes\n", o.faultKillWrites)
+				fmt.Printf("fault injection: killing this process's connection after %d writes\n", o.FaultKillWrites)
 			}
 			var node *transport.Node
 			var terr error
-			if o.listen != "" {
-				fmt.Printf("listening on %s for %d endpoints...\n", o.listen, o.endpoints)
-				node, terr = transport.Listen(o.listen, o.endpoints, hosted, topts...)
+			if o.Listen != "" {
+				fmt.Printf("listening on %s for %d endpoints...\n", o.Listen, o.Endpoints)
+				node, terr = transport.Listen(o.Listen, o.Endpoints, hosted, topts...)
 			} else {
-				node, terr = transport.Dial(o.connect, o.endpoints, hosted, topts...)
+				node, terr = transport.Dial(o.Connect, o.Endpoints, hosted, topts...)
 			}
 			if terr != nil {
 				return nil, terr
 			}
 			defer node.Close()
 			return pdes.RunOn(runSys, acfg, until, sink, node.Endpoints())
-		case o.faultDieSends > 0 || o.faultMuteSends > 0:
-			plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.faultDieSends, MuteAfterSends: o.faultMuteSends}
+		case o.FaultDieSends > 0 || o.FaultMuteSends > 0:
+			plan := faultinject.Plan{Seed: o.faultSeed, DieAfterSends: o.FaultDieSends, MuteAfterSends: o.FaultMuteSends}
 			eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(acfg.Workers+1), plan)
-			if o.faultDieSends > 0 {
+			if o.FaultDieSends > 0 {
 				fmt.Printf("fault injection: fabric dies after %d sends from any endpoint (seed %d)\n",
-					o.faultDieSends, o.faultSeed)
+					o.FaultDieSends, o.faultSeed)
 			}
-			if o.faultMuteSends > 0 {
+			if o.FaultMuteSends > 0 {
 				fmt.Printf("fault injection: each endpoint goes silent after %d sends (seed %d)\n",
-					o.faultMuteSends, o.faultSeed)
+					o.FaultMuteSends, o.faultSeed)
 			}
 			return pdes.RunOn(runSys, acfg, until, sink, eps)
 		case cfg.Protocol == pdes.ProtoSequential:
@@ -560,7 +466,7 @@ func run(o runOpts) error {
 	}
 
 	var res *pdes.Result
-	if o.failover {
+	if o.Failover {
 		res, err = sup.Run(runAttempt)
 	} else {
 		res, err = runAttempt(0, sup.Latest())
@@ -572,8 +478,8 @@ func run(o runOpts) error {
 	fmt.Printf("simulated to %v in %v (GVT %v)\n", until, res.Wall.Round(1e6), res.GVT)
 	if o.showStats {
 		fmt.Printf("metrics: %v\n", res.Metrics)
-		if o.memBudget > 0 {
-			fmt.Printf("memory: peak tracked optimistic bytes %d (budget %d)\n", res.MemPeak, o.memBudget)
+		if o.MemBudget > 0 {
+			fmt.Printf("memory: peak tracked optimistic bytes %d (budget %d)\n", res.MemPeak, o.MemBudget)
 		}
 		if res.Makespan > 0 {
 			fmt.Printf("modeled makespan: %.0f cost units\n", res.Makespan)
@@ -617,44 +523,4 @@ func run(o runOpts) error {
 		fmt.Printf("wrote %s\n", o.vcd)
 	}
 	return nil
-}
-
-// parseTime parses "100ns", "2us", "1ms", "42" (fs).
-func parseTime(s string) (vtime.Time, error) {
-	units := []struct {
-		suffix string
-		mult   vtime.Time
-	}{
-		{"sec", vtime.S}, {"ms", vtime.MS}, {"us", vtime.US},
-		{"ns", vtime.NS}, {"ps", vtime.PS}, {"fs", vtime.FS},
-	}
-	for _, u := range units {
-		if strings.HasSuffix(s, u.suffix) {
-			n, err := strconv.ParseUint(strings.TrimSuffix(s, u.suffix), 10, 64)
-			if err != nil {
-				return 0, fmt.Errorf("bad time %q", s)
-			}
-			return vtime.Time(n) * u.mult, nil
-		}
-	}
-	n, err := strconv.ParseUint(s, 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad time %q (use e.g. 100ns)", s)
-	}
-	return vtime.Time(n), nil
-}
-
-func parseInts(s string) ([]int, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }

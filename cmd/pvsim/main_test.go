@@ -5,188 +5,60 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
-	"time"
 
 	"govhdl/internal/pdes"
+	"govhdl/internal/runopts"
 	"govhdl/internal/trace"
 	"govhdl/internal/vtime"
 )
 
-func TestParseTime(t *testing.T) {
-	cases := map[string]vtime.Time{
-		"100ns": 100 * vtime.NS,
-		"2us":   2 * vtime.US,
-		"1ms":   1 * vtime.MS,
-		"5ps":   5 * vtime.PS,
-		"7fs":   7,
-		"3sec":  3 * vtime.S,
-		"42":    42,
-	}
-	for in, want := range cases {
-		got, err := parseTime(in)
-		if err != nil || got != want {
-			t.Errorf("parseTime(%q) = %v, %v; want %v", in, got, err, want)
-		}
-	}
-	for _, bad := range []string{"", "ns", "1.5ns", "x42", "10 ns"} {
-		if _, err := parseTime(bad); err == nil {
-			t.Errorf("parseTime(%q) accepted", bad)
-		}
-	}
-}
-
-func TestParseInts(t *testing.T) {
-	got, err := parseInts("0, 1,2")
-	if err != nil || len(got) != 3 || got[0] != 0 || got[2] != 2 {
-		t.Errorf("parseInts = %v, %v", got, err)
-	}
-	if out, err := parseInts(""); err != nil || out != nil {
-		t.Errorf("empty = %v, %v", out, err)
-	}
-	if _, err := parseInts("1,x"); err == nil {
-		t.Error("bad list accepted")
-	}
-}
+// Parse and Validate tables live with the shared package
+// (internal/runopts); here we only cover pvsim's own wiring of them.
 
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run(runOpts{protocol: "dynamic", workers: 1, saveEvery: 1}); err == nil {
+	base := func(mutate func(*runOpts)) runOpts {
+		o := runOpts{Opts: runopts.Opts{Protocol: "dynamic", Workers: 1, SaveEvery: 1}}
+		mutate(&o)
+		return o
+	}
+	if err := run(base(func(o *runOpts) {})); err == nil {
 		t.Error("run with nothing to simulate succeeded")
 	}
-	if err := run(runOpts{circuit: "nosuch", protocol: "dynamic", workers: 1, saveEvery: 1}); err == nil {
+	if err := run(base(func(o *runOpts) { o.Circuit = "nosuch" })); err == nil {
 		t.Error("unknown circuit accepted")
 	}
-	if err := run(runOpts{circuit: "fsm", protocol: "warp9", workers: 1, saveEvery: 1}); err == nil {
+	if err := run(base(func(o *runOpts) { o.Circuit = "fsm"; o.Protocol = "warp9" })); err == nil {
 		t.Error("unknown protocol accepted")
 	}
-	if err := run(runOpts{circuit: "fsm", protocol: "seq", workers: 1, saveEvery: 1, ckptRounds: 1, ckptFile: "x"}); err == nil {
+	if err := run(base(func(o *runOpts) {
+		o.Circuit = "fsm"
+		o.Protocol = "seq"
+		o.CkptRounds = 1
+		o.ckptFile = "x"
+	})); err == nil {
 		t.Error("checkpoint rounds under the sequential kernel accepted")
 	}
-	if err := run(runOpts{circuit: "fsm", protocol: "dyn", workers: 1, saveEvery: 1, ckptRounds: 1}); err == nil {
+	if err := run(base(func(o *runOpts) {
+		o.Circuit = "fsm"
+		o.Protocol = "dyn"
+		o.CkptRounds = 1
+	})); err == nil {
 		t.Error("checkpoint rounds without a checkpoint file accepted")
 	}
-	if err := run(runOpts{circuit: "fsm", protocol: "dyn", workers: 1, saveEvery: 1, restore: "/nonexistent/ck"}); err == nil {
+	if err := run(base(func(o *runOpts) {
+		o.Circuit = "fsm"
+		o.Protocol = "dyn"
+		o.Restore = "/nonexistent/ck"
+	})); err == nil {
 		t.Error("restore from a missing file accepted")
 	}
-}
-
-func TestValidateRunOpts(t *testing.T) {
-	// Baseline options that pass validation, mutated per case below.
-	base := func() runOpts {
-		return runOpts{stallPolicy: "fail"}
-	}
-	cases := []struct {
-		name    string
-		mutate  func(*runOpts)
-		proto   pdes.Protocol
-		wantErr string
-	}{
-		{"baseline ok", func(o *runOpts) {}, pdes.ProtoDynamic, ""},
-		{"restore with kill-writes", func(o *runOpts) {
-			o.restore = "ck"
-			o.faultKillWrites = 10
-		}, pdes.ProtoDynamic, "-restore cannot be combined"},
-		{"restore with die-sends", func(o *runOpts) {
-			o.restore = "ck"
-			o.faultDieSends = 10
-		}, pdes.ProtoDynamic, "-restore cannot be combined"},
-		{"restore with mute-sends", func(o *runOpts) {
-			o.restore = "ck"
-			o.faultMuteSends = 10
-		}, pdes.ProtoDynamic, "-restore cannot be combined"},
-		{"fabric fault under seq", func(o *runOpts) {
-			o.faultDieSends = 10
-		}, pdes.ProtoSequential, "needs a parallel protocol"},
-		{"failover without checkpointing", func(o *runOpts) {
-			o.failover = true
-		}, pdes.ProtoDynamic, "-failover needs -checkpoint-rounds"},
-		{"failover on a connect worker", func(o *runOpts) {
-			o.failover = true
-			o.ckptRounds = 1
-			o.connect = "host:1"
-			o.endpoints = 3
-		}, pdes.ProtoDynamic, "controller's process"},
-		{"failover under seq", func(o *runOpts) {
-			o.failover = true
-			o.ckptRounds = 1
-		}, pdes.ProtoSequential, "needs a parallel protocol"},
-		{"failover ok", func(o *runOpts) {
-			o.failover = true
-			o.ckptRounds = 1
-		}, pdes.ProtoDynamic, ""},
-		{"bad stall policy", func(o *runOpts) {
-			o.stallPolicy = "panic"
-		}, pdes.ProtoDynamic, "-stall-policy"},
-		{"negative stall timeout", func(o *runOpts) {
-			o.stallTimeout = -time.Second
-		}, pdes.ProtoDynamic, "-stall-timeout"},
-		{"negative mem budget", func(o *runOpts) {
-			o.memBudget = -1
-		}, pdes.ProtoDynamic, "-mem-budget"},
-		{"distributed without endpoints", func(o *runOpts) {
-			o.listen = ":0"
-		}, pdes.ProtoDynamic, "-endpoints >= 2"},
-		{"sharded ok", func(o *runOpts) {
-			o.shards = 4
-			o.workers = 4
-		}, pdes.ProtoDynamic, ""},
-		{"sharded topo ok", func(o *runOpts) {
-			o.shards = 8
-			o.workers = 4
-			o.partition = "topo"
-		}, pdes.ProtoConservative, ""},
-		{"partition without shards ok", func(o *runOpts) {
-			o.partition = "rr"
-			o.workers = 2
-		}, pdes.ProtoOptimistic, ""},
-		{"negative shards", func(o *runOpts) {
-			o.shards = -1
-		}, pdes.ProtoDynamic, "-shards must be >= 0"},
-		{"bad partition name", func(o *runOpts) {
-			o.partition = "metis"
-		}, pdes.ProtoDynamic, "-partition must be"},
-		{"shards under seq", func(o *runOpts) {
-			o.shards = 2
-			o.workers = 1
-		}, pdes.ProtoSequential, "needs a parallel protocol"},
-		{"shards with user ordering", func(o *runOpts) {
-			o.shards = 2
-			o.workers = 1
-			o.user = true
-		}, pdes.ProtoDynamic, "-user"},
-		{"shards with restore", func(o *runOpts) {
-			o.shards = 2
-			o.restore = "ck"
-		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
-		{"partition with restore", func(o *runOpts) {
-			o.partition = "topo"
-			o.restore = "ck"
-		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
-		{"more workers than shards", func(o *runOpts) {
-			o.shards = 2
-			o.workers = 4
-		}, pdes.ProtoDynamic, "-workers <= -shards"},
-		{"more distributed workers than shards", func(o *runOpts) {
-			o.shards = 2
-			o.workers = 1
-			o.listen = ":0"
-			o.endpoints = 4
-		}, pdes.ProtoDynamic, "-workers <= -shards"},
-	}
-	for _, c := range cases {
-		t.Run(c.name, func(t *testing.T) {
-			o := base()
-			c.mutate(&o)
-			err := validateRunOpts(&o, c.proto)
-			if c.wantErr == "" {
-				if err != nil {
-					t.Fatalf("unexpected error: %v", err)
-				}
-				return
-			}
-			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
-				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
-			}
-		})
+	// A combination the shared validator rejects must also fail through run.
+	if err := run(base(func(o *runOpts) {
+		o.Circuit = "fsm"
+		o.Protocol = "dyn"
+		o.StallPolicy = "panic"
+	})); err == nil || !strings.Contains(err.Error(), "-stall-policy") {
+		t.Errorf("shared validation not wired through run: %v", err)
 	}
 }
 

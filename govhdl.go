@@ -30,6 +30,7 @@ package govhdl
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"govhdl/internal/circuits"
 	"govhdl/internal/kernel"
@@ -92,6 +93,14 @@ type Options struct {
 	ThrottleWindow Time
 	// CheckpointEvery is the optimistic state-saving interval (default 1).
 	CheckpointEvery int
+	// MemBudget, when positive, bounds the approximate bytes of retained
+	// optimistic state (rollback histories, snapshots); the engine throttles
+	// and cancels back to stay under it.
+	MemBudget int64
+	// StallTimeout, when positive, arms the GVT stall watchdog: a run whose
+	// committed GVT stops advancing for this long fails with a diagnostic
+	// instead of hanging.
+	StallTimeout time.Duration
 }
 
 func (o Options) config() pdes.Config {
@@ -101,6 +110,8 @@ func (o Options) config() pdes.Config {
 		Lookahead:       o.Lookahead,
 		ThrottleWindow:  o.ThrottleWindow,
 		CheckpointEvery: o.CheckpointEvery,
+		MemBudget:       o.MemBudget,
+		StallTimeout:    o.StallTimeout,
 	}
 	if o.UserConsistent {
 		cfg.Ordering = pdes.OrderUserConsistent

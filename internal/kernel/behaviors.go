@@ -12,10 +12,23 @@ import (
 // interpreted alike).
 const MaxDelta = 100_000
 
+// DesignError is a runtime fault of the simulated design (as opposed to a
+// bug in the engine): a delta-cycle runaway, a resolution conflict and the
+// like. It implements pdes.ModelError via ModelDiagnostic, so a run unwinds
+// into a structured Model-flagged error instead of a crashed goroutine.
+type DesignError struct {
+	Msg string
+}
+
+func (e *DesignError) Error() string { return e.Msg }
+
+// ModelDiagnostic marks the fault as the design's, not the engine's.
+func (e *DesignError) ModelDiagnostic() {}
+
 func checkDelta(now vtime.VT) {
 	if now.Delta() > MaxDelta {
-		panic("kernel: delta-cycle limit exceeded at " + now.String() +
-			" (zero-delay combinational loop?)")
+		panic(&DesignError{Msg: "kernel: delta-cycle limit exceeded at " + now.String() +
+			" (zero-delay combinational loop?)"})
 	}
 }
 
@@ -56,6 +69,9 @@ type ClockGen struct {
 	high bool       // next level to drive
 }
 
+// CloneFresh returns a pristine generator with the same period.
+func (b *ClockGen) CloneFresh() Behavior { return &ClockGen{Half: b.Half} }
+
 // Run drives the next level and waits half a period.
 func (b *ClockGen) Run(c *ProcCtx) Wait {
 	if b.high {
@@ -91,6 +107,9 @@ type Stimulus struct {
 	idx   int
 }
 
+// CloneFresh returns a pristine player over the same (immutable) schedule.
+func (b *Stimulus) CloneFresh() Behavior { return &Stimulus{Steps: b.Steps} }
+
 // Run performs the pending assignment and waits until the next step.
 func (b *Stimulus) Run(c *ProcCtx) Wait {
 	// The first run happens at initialization; each later run follows a
@@ -125,6 +144,10 @@ type Reg struct {
 	// NumData is the number of data inputs (ports 1..NumData).
 	NumData int
 }
+
+// CloneFresh returns a copy (Reg is stateless; a copy keeps ownership
+// obvious).
+func (b *Reg) CloneFresh() Behavior { return &Reg{Delay: b.Delay, NumData: b.NumData} }
 
 // Run copies data to outputs on the clock's rising edge.
 func (b *Reg) Run(c *ProcCtx) Wait {

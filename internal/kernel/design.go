@@ -127,6 +127,52 @@ func (d *Design) mustBeOpen() {
 	}
 }
 
+// FreshBehavior is implemented by behaviors that can hand out a pristine
+// copy of themselves: immutable compiled tables may be shared, but every
+// piece of runtime state must be fresh. Design.CloneFresh requires it of
+// every process behavior.
+type FreshBehavior interface {
+	Behavior
+	CloneFresh() Behavior
+}
+
+// CloneFresh returns an unbuilt copy of the design suitable for an
+// independent simulation run. Signals and processes are replayed in their
+// original declaration order, so driver indices, LP numbering and therefore
+// committed traces are identical to the original's. It fails if any process
+// behavior does not implement FreshBehavior (e.g. a Comb whose Eval closure
+// may capture state outside the design); callers fall back to re-elaborating
+// from source in that case.
+func (d *Design) CloneFresh() (*Design, error) {
+	nd := NewDesign(d.Name)
+	sigOf := make(map[*Signal]*Signal, len(d.signals))
+	for _, s := range d.signals {
+		ns := nd.AddSignal(s.Name, CloneValue(s.Init))
+		ns.Class = s.Class
+		ns.resolution = s.resolution
+		ns.lookahead = s.lookahead
+		sigOf[s] = ns
+	}
+	for _, p := range d.procs {
+		fb, ok := p.behavior.(FreshBehavior)
+		if !ok {
+			return nil, fmt.Errorf("kernel: CloneFresh: process %s: %T cannot produce a fresh copy", p.Name, p.behavior)
+		}
+		reads := make([]*Signal, len(p.reads))
+		for i, s := range p.reads {
+			reads[i] = sigOf[s]
+		}
+		// p.writes preserves declaration order, so replaying through
+		// AddProcess reallocates the same driver indices.
+		writes := make([]*Signal, len(p.writes))
+		for i, w := range p.writes {
+			writes[i] = sigOf[w.sig]
+		}
+		nd.AddProcess(p.Name, fb.CloneFresh(), reads, writes, WithProcClass(p.Class))
+	}
+	return nd, nil
+}
+
 // NumLPs returns the number of LPs the design maps to (paper: one per
 // signal plus one per process).
 func (d *Design) NumLPs() int { return len(d.signals) + len(d.procs) }

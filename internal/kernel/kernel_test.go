@@ -332,14 +332,16 @@ func TestDeltaLimitDetected(t *testing.T) {
 		c.Assign(0, stdlogic.Not(c.Std(0)), 0)
 	}), []*Signal{a}, []*Signal{a})
 	sys := d.Build()
-	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("zero-delay loop did not trip the delta limit")
-		} else if !strings.Contains(fmt.Sprint(r), "delta-cycle limit") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	_, _ = pdes.RunSequential(sys, 10*vtime.NS, nil)
+	_, err := pdes.RunSequential(sys, 10*vtime.NS, nil)
+	if err == nil {
+		t.Fatal("zero-delay loop did not trip the delta limit")
+	}
+	if !strings.Contains(err.Error(), "delta-cycle limit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !pdes.IsModelError(err) {
+		t.Fatalf("delta limit not classified as a model error: %v", err)
+	}
 }
 
 // TestParallelMatchesSequential verifies the paper's core claim: the

@@ -241,6 +241,13 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		// processed beneath an unmoved GVT (still healthy).
 		c.rs.progress.Add(1)
 	}
+	if c.cfg.OnGVT != nil {
+		// Safe point for incremental trace consumption: the round's acks prove
+		// every worker handled the previous msgGVTNew — and therefore finished
+		// fossil-collecting (committing) everything below the previous GVT —
+		// before pausing for this round.
+		c.cfg.OnGVT(gvt)
+	}
 
 	deadlocked := !isDone && stallCandidate && c.rounds > 0 && gvt == c.prevGVT && totalProcessed == c.prevProcessed
 	rescueAsked := c.rs != nil && c.rs.takeForceOpt()
@@ -260,7 +267,7 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	}
 	if deadlocked {
 		c.abort(&SimError{Text: "pdes: deadlock: all workers idle, GVT stuck at " + gvt.String() +
-			" (user-consistent conservative ordering without lookahead blocks, per the paper)"})
+			" (user-consistent conservative ordering without lookahead blocks, per the paper)", Stall: true})
 		return false, true
 	}
 	if c.cfg.GVTAdapt && !isDone {

@@ -1,6 +1,7 @@
 package pdes
 
 import (
+	"errors"
 	"fmt"
 
 	"govhdl/internal/vtime"
@@ -157,6 +158,54 @@ type SimError struct {
 	// itself. Only transport failures are worth retrying from a checkpoint:
 	// a deterministic engine reproduces any other error identically.
 	Transport bool
+	// Model marks a diagnostic raised by the simulated model itself (a VHDL
+	// runtime error, a delta-cycle runaway): the design is at fault, not the
+	// engine or the environment, so retrying cannot help but the hosting
+	// process is perfectly healthy — a multi-tenant server maps these to a
+	// client error on the offending session only.
+	Model bool
+	// Canceled marks a run unwound through Config.Cancel (an explicit cancel
+	// request or an expired session deadline). Never retried.
+	Canceled bool
+	// Stall marks a verdict of the GVT stall watchdog or the controller's
+	// deadlock detector: the run stopped making progress and was unwound.
+	// Deterministically reproducible, so never retried.
+	Stall bool
 }
 
 func (e *SimError) Error() string { return e.Text }
+
+// ModelError is implemented by panic values thrown from model code that
+// diagnose the simulated design itself (e.g. a VHDL evaluation error) rather
+// than an engine bug. Workers and the sequential kernel convert such panics
+// into a Model-flagged *SimError, failing the run cleanly instead of
+// crashing the process.
+type ModelError interface {
+	error
+	// ModelDiagnostic is a marker: implementing it asserts the error
+	// describes the simulated design, deterministically.
+	ModelDiagnostic()
+}
+
+// IsModelError reports whether err is a model diagnostic (see SimError.Model).
+func IsModelError(err error) bool {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se.Model
+	}
+	var me ModelError
+	return errors.As(err, &me)
+}
+
+// IsCanceled reports whether err is the verdict of a run unwound through
+// Config.Cancel.
+func IsCanceled(err error) bool {
+	var se *SimError
+	return errors.As(err, &se) && se.Canceled
+}
+
+// IsStall reports whether err is a stall-watchdog or deadlock verdict.
+func IsStall(err error) bool {
+	var se *SimError
+	return errors.As(err, &se) && se.Stall
+}

@@ -222,6 +222,27 @@ type Config struct {
 	// so a budgeted run still terminates; the committed trace is unchanged.
 	MemBudget int64
 
+	// Cancel, when non-nil, is an external abort hook: closing the channel
+	// unwinds the run promptly with a Canceled SimError (see IsCanceled).
+	// Parallel runs poison every locally hosted endpoint, exactly like the
+	// stall watchdog; sequential runs observe the channel between events.
+	// Cancellation never retries (it is neither Transport nor Model) and,
+	// like all supervision, never influences the committed prefix of the
+	// trace — a canceled run's committed records are a prefix of the full
+	// run's.
+	Cancel <-chan struct{}
+
+	// OnGVT, when non-nil, observes every committed GVT value, in
+	// nondecreasing order, from the controller goroutine (processes hosting
+	// endpoint 0 only). By the time OnGVT(g) is called, every worker has
+	// finished fossil-collecting the previous committed GVT g', so every
+	// trace record with timestamp strictly below g' has been committed —
+	// which is what lets a recipient stream the trace incrementally and
+	// deterministically (see trace.Cursor). The callback runs on the
+	// controller's critical path: keep it fast and never block on the
+	// simulation itself.
+	OnGVT func(gvt vtime.VT)
+
 	// CheckpointRounds, when positive, turns every Nth committed GVT round
 	// into a run-level checkpoint cut: workers commit everything at or below
 	// the new GVT, drain in-flight messages, and serialize their state so

@@ -25,12 +25,45 @@ func Run(sys *System, cfg Config, until vtime.Time, sink TraceSink) (*Result, er
 	return runParallel(sys, cfg, until, sink)
 }
 
+// errCanceled is the verdict a canceled run unwinds with: not a transport
+// failure (a supervisor must not retry an explicit cancel) and not a model
+// error (the design did nothing wrong).
+func errCanceled() *SimError {
+	return &SimError{Text: "pdes: run canceled", Canceled: true}
+}
+
+// startCancelWatcher arms Config.Cancel for one RunOn call: when the channel
+// closes, every locally hosted endpoint is poisoned — the same unwind path the
+// stall watchdog and a dying transport use, so workers and the controller
+// observe the abort even when parked mid GVT round. The returned function
+// stops the watcher and waits for its goroutine; RunOn calls it after the run
+// has unwound.
+func startCancelWatcher(cancel <-chan struct{}, eps []Endpoint) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-stop:
+		case <-cancel:
+			err := errCanceled()
+			for _, ep := range eps {
+				ep.Poison(err)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
+}
+
 // runParallel is Run without configuration validation; tests use it to
 // exercise the deadlock detector on configurations Validate rejects.
 func runParallel(sys *System, cfg Config, until vtime.Time, sink TraceSink) (*Result, error) {
 	cfg.fillDefaults()
 	if cfg.Protocol == ProtoSequential {
-		return RunSequential(sys, until, sink)
+		return RunSequentialCancelable(sys, until, sink, cfg.Cancel)
 	}
 	return RunOn(sys, cfg, until, sink, NewLocalFabric(cfg.Workers+1))
 }
@@ -115,6 +148,10 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 	if cfg.StallTimeout > 0 {
 		stopWatchdog = startWatchdog(rs, &cfg, workers, eps)
 	}
+	var stopCancel func()
+	if cfg.Cancel != nil {
+		stopCancel = startCancelWatcher(cfg.Cancel, eps)
+	}
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -136,6 +173,9 @@ func RunOn(sys *System, cfg Config, until vtime.Time, sink TraceSink, eps []Endp
 	wall := time.Since(start)
 	if stopWatchdog != nil {
 		stopWatchdog()
+	}
+	if stopCancel != nil {
+		stopCancel()
 	}
 
 	if ctrl != nil && ctrl.err != nil {

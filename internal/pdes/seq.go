@@ -34,6 +34,29 @@ type Result struct {
 // are processed in deterministic (timestamp, event ID) order until every
 // pending event is at or beyond the horizon `until` (exclusive).
 func RunSequential(sys *System, until vtime.Time, sink TraceSink) (*Result, error) {
+	return RunSequentialCancelable(sys, until, sink, nil)
+}
+
+// cancelCheckEvery is how many sequential events execute between looks at the
+// cancel channel: cheap enough to be invisible, frequent enough that a cancel
+// lands within microseconds.
+const cancelCheckEvery = 4096
+
+// RunSequentialCancelable is RunSequential with the Config.Cancel semantics:
+// once cancel is closed, the run stops within cancelCheckEvery events and
+// returns a Canceled SimError. A panic carrying a ModelError (a diagnostic
+// from the simulated design) is converted into a Model-flagged SimError
+// instead of crashing the caller, mirroring the parallel workers.
+func RunSequentialCancelable(sys *System, until vtime.Time, sink TraceSink, cancel <-chan struct{}) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			me, ok := r.(ModelError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, &SimError{Text: "pdes: model error: " + me.Error(), Model: true}
+		}
+	}()
 	sys.frozen = true
 	start := time.Now()
 	costs := stats.Default()
@@ -71,6 +94,13 @@ func RunSequential(sys *System, until vtime.Time, sink TraceSink) (*Result, erro
 
 	var processed uint64
 	for {
+		if cancel != nil && processed%cancelCheckEvery == 0 {
+			select {
+			case <-cancel:
+				return nil, errCanceled()
+			default:
+			}
+		}
 		ev := heap.Peek()
 		if ev == nil || !ev.TS.Less(horizon) {
 			break

@@ -234,7 +234,7 @@ func (wd *watchdog) run() {
 		}
 		err := &SimError{Text: fmt.Sprintf(
 			"pdes: stall watchdog: committed GVT did not advance for %v (policy %v); see the diagnostic dump",
-			report.Elapsed.Round(time.Millisecond), wd.cfg.StallPolicy)}
+			report.Elapsed.Round(time.Millisecond), wd.cfg.StallPolicy), Stall: true}
 		for _, ep := range wd.eps {
 			ep.Poison(err)
 		}

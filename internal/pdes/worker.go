@@ -240,11 +240,25 @@ func (w *worker) fatal(format string, args ...any) {
 func (w *worker) run() {
 	defer func() {
 		if r := recover(); r != nil {
-			fp, ok := r.(fatalPanic)
-			if !ok {
+			var err *SimError
+			switch p := r.(type) {
+			case fatalPanic:
+				err = p.err
+			case ModelError:
+				// A diagnostic thrown by model code (a VHDL runtime error, a
+				// delta runaway): the design is at fault, not the engine.
+				// Fail the run with a structured verdict instead of crashing
+				// the process — in a multi-tenant server only the offending
+				// session dies. Under optimistic execution the diagnostic
+				// could in principle come from a speculative misordering, but
+				// unwinding is still strictly better than the crash it
+				// replaces, and a deterministically bad design fails on every
+				// path.
+				err = &SimError{Text: "pdes: model error: " + p.Error(), Model: true}
+			default:
 				panic(r)
 			}
-			w.ep.Send(0, &Msg{Kind: msgFatal, Err: fp.err})
+			w.ep.Send(0, &Msg{Kind: msgFatal, Err: err})
 			w.awaitStop()
 		}
 	}()

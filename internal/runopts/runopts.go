@@ -1,0 +1,177 @@
+// Package runopts holds the run-option surface shared by the pvsim CLI and
+// the govhdld server: the tunables both frontends expose, the semantic
+// validation of their combinations, and the little parsers ("100ns",
+// "0,1,2", protocol names) requests and flags have in common. Keeping the
+// rules in one place means a flag combination pvsim rejects is rejected the
+// same way — with the same message — when it arrives over HTTP.
+package runopts
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"govhdl/internal/pdes"
+	"govhdl/internal/vtime"
+)
+
+// Opts is the shared subset of run tunables. pvsim embeds it in its flag
+// struct; govhdld populates it from a session request. Field names keep the
+// "-flag" spelling in error messages, which both frontends expose verbatim.
+type Opts struct {
+	Top       string
+	Circuit   string
+	Protocol  string
+	Workers   int
+	Until     string
+	Lookahead bool
+	User      bool
+	Throttle  string
+	SaveEvery int
+
+	Shards    int
+	Partition string
+
+	Listen    string
+	Connect   string
+	Endpoints int
+
+	CkptRounds int
+	Restore    string
+	Failover   bool
+
+	StallTimeout time.Duration
+	StallPolicy  string
+	MemBudget    int64
+
+	FaultKillWrites int
+	FaultDieSends   int
+	FaultMuteSends  int
+}
+
+// Validate rejects option combinations whose semantics conflict, before any
+// expensive work happens. Callers must apply the -checkpoint-file =>
+// -checkpoint-rounds default first. An empty StallPolicy means "fail".
+func (o *Opts) Validate(proto pdes.Protocol) error {
+	fault := o.FaultKillWrites > 0 || o.FaultDieSends > 0 || o.FaultMuteSends > 0
+	if o.Restore != "" && fault {
+		return fmt.Errorf("-restore cannot be combined with -fault-* flags: a restored run must replay the saved cut faithfully, not inject fresh faults")
+	}
+	if (o.FaultDieSends > 0 || o.FaultMuteSends > 0) && proto == pdes.ProtoSequential {
+		return fmt.Errorf("fabric fault injection needs a parallel protocol")
+	}
+	if o.Failover {
+		if o.CkptRounds <= 0 {
+			return fmt.Errorf("-failover needs -checkpoint-rounds (or -checkpoint-file): recovery resumes from the latest GVT-consistent cut")
+		}
+		if o.Connect != "" {
+			return fmt.Errorf("-failover belongs on the controller's process (the -listen hub or a single process), not on a -connect worker")
+		}
+		if proto == pdes.ProtoSequential {
+			return fmt.Errorf("-failover needs a parallel protocol")
+		}
+	}
+	switch o.StallPolicy {
+	case "", "fail", "force-opt":
+	default:
+		return fmt.Errorf("-stall-policy must be \"fail\" or \"force-opt\", got %q", o.StallPolicy)
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("-stall-timeout must be >= 0 (0 disables the watchdog)")
+	}
+	if o.MemBudget < 0 {
+		return fmt.Errorf("-mem-budget must be >= 0 (0 = unbounded)")
+	}
+	if (o.Listen != "" || o.Connect != "") && o.Endpoints < 2 {
+		return fmt.Errorf("distributed mode needs -endpoints >= 2")
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (0 disables sharding)")
+	}
+	if o.Partition != "" {
+		switch strings.ToLower(o.Partition) {
+		case "rr", "roundrobin", "round-robin", "block", "topo":
+		default:
+			return fmt.Errorf("-partition must be rr, block or topo, got %q", o.Partition)
+		}
+	}
+	if o.Restore != "" && (o.Shards > 0 || o.Partition != "") {
+		return fmt.Errorf("-shards/-partition are recorded in the checkpoint file; -restore derives them (drop the explicit flags)")
+	}
+	if o.Shards > 0 {
+		if proto == pdes.ProtoSequential {
+			return fmt.Errorf("-shards needs a parallel protocol (the sequential kernel already runs as one shard)")
+		}
+		if o.User {
+			return fmt.Errorf("-shards cannot be combined with -user: user-consistent ordering is defined on member events, which shards interleave internally")
+		}
+		workers := o.Workers
+		if o.Listen != "" || o.Connect != "" {
+			workers = o.Endpoints - 1
+		}
+		if workers > o.Shards {
+			return fmt.Errorf("%d workers for %d shards: each shard is owned by one worker, so use -workers <= -shards", workers, o.Shards)
+		}
+	}
+	return nil
+}
+
+// ParseProtocol maps a protocol name ("seq", "cons", "opt", "mixed",
+// "dynamic" and their long forms) onto the engine constant.
+func ParseProtocol(s string) (pdes.Protocol, error) {
+	switch strings.ToLower(s) {
+	case "seq", "sequential":
+		return pdes.ProtoSequential, nil
+	case "cons", "conservative":
+		return pdes.ProtoConservative, nil
+	case "opt", "optimistic":
+		return pdes.ProtoOptimistic, nil
+	case "mixed":
+		return pdes.ProtoMixed, nil
+	case "dyn", "dynamic":
+		return pdes.ProtoDynamic, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", s)
+}
+
+// ParseTime parses "100ns", "2us", "1ms", "42" (bare femtoseconds).
+func ParseTime(s string) (vtime.Time, error) {
+	units := []struct {
+		suffix string
+		mult   vtime.Time
+	}{
+		{"sec", vtime.S}, {"ms", vtime.MS}, {"us", vtime.US},
+		{"ns", vtime.NS}, {"ps", vtime.PS}, {"fs", vtime.FS},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			n, err := strconv.ParseUint(strings.TrimSuffix(s, u.suffix), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("bad time %q", s)
+			}
+			return vtime.Time(n) * u.mult, nil
+		}
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q (use e.g. 100ns)", s)
+	}
+	return vtime.Time(n), nil
+}
+
+// ParseInts parses a comma-separated integer list; "" is nil.
+func ParseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+package runopts
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"govhdl/internal/pdes"
+	"govhdl/internal/vtime"
+)
+
+func TestParseTime(t *testing.T) {
+	cases := map[string]vtime.Time{
+		"100ns": 100 * vtime.NS,
+		"2us":   2 * vtime.US,
+		"1ms":   1 * vtime.MS,
+		"5ps":   5 * vtime.PS,
+		"7fs":   7,
+		"3sec":  3 * vtime.S,
+		"42":    42,
+	}
+	for in, want := range cases {
+		got, err := ParseTime(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTime(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "ns", "1.5ns", "x42", "10 ns"} {
+		if _, err := ParseTime(bad); err == nil {
+			t.Errorf("ParseTime(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts("0, 1,2")
+	if err != nil || len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("ParseInts = %v, %v", got, err)
+	}
+	if out, err := ParseInts(""); err != nil || out != nil {
+		t.Errorf("empty = %v, %v", out, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	cases := map[string]pdes.Protocol{
+		"seq": pdes.ProtoSequential, "sequential": pdes.ProtoSequential,
+		"cons": pdes.ProtoConservative, "conservative": pdes.ProtoConservative,
+		"opt": pdes.ProtoOptimistic, "OPTIMISTIC": pdes.ProtoOptimistic,
+		"mixed": pdes.ProtoMixed,
+		"dyn":   pdes.ProtoDynamic, "dynamic": pdes.ProtoDynamic,
+	}
+	for in, want := range cases {
+		got, err := ParseProtocol(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseProtocol("warp9"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	// Baseline options that pass validation, mutated per case below.
+	base := func() Opts {
+		return Opts{StallPolicy: "fail"}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Opts)
+		proto   pdes.Protocol
+		wantErr string
+	}{
+		{"baseline ok", func(o *Opts) {}, pdes.ProtoDynamic, ""},
+		{"empty stall policy ok", func(o *Opts) {
+			o.StallPolicy = ""
+		}, pdes.ProtoDynamic, ""},
+		{"restore with kill-writes", func(o *Opts) {
+			o.Restore = "ck"
+			o.FaultKillWrites = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"restore with die-sends", func(o *Opts) {
+			o.Restore = "ck"
+			o.FaultDieSends = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"restore with mute-sends", func(o *Opts) {
+			o.Restore = "ck"
+			o.FaultMuteSends = 10
+		}, pdes.ProtoDynamic, "-restore cannot be combined"},
+		{"fabric fault under seq", func(o *Opts) {
+			o.FaultDieSends = 10
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"failover without checkpointing", func(o *Opts) {
+			o.Failover = true
+		}, pdes.ProtoDynamic, "-failover needs -checkpoint-rounds"},
+		{"failover on a connect worker", func(o *Opts) {
+			o.Failover = true
+			o.CkptRounds = 1
+			o.Connect = "host:1"
+			o.Endpoints = 3
+		}, pdes.ProtoDynamic, "controller's process"},
+		{"failover under seq", func(o *Opts) {
+			o.Failover = true
+			o.CkptRounds = 1
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"failover ok", func(o *Opts) {
+			o.Failover = true
+			o.CkptRounds = 1
+		}, pdes.ProtoDynamic, ""},
+		{"bad stall policy", func(o *Opts) {
+			o.StallPolicy = "panic"
+		}, pdes.ProtoDynamic, "-stall-policy"},
+		{"negative stall timeout", func(o *Opts) {
+			o.StallTimeout = -time.Second
+		}, pdes.ProtoDynamic, "-stall-timeout"},
+		{"negative mem budget", func(o *Opts) {
+			o.MemBudget = -1
+		}, pdes.ProtoDynamic, "-mem-budget"},
+		{"distributed without endpoints", func(o *Opts) {
+			o.Listen = ":0"
+		}, pdes.ProtoDynamic, "-endpoints >= 2"},
+		{"sharded ok", func(o *Opts) {
+			o.Shards = 4
+			o.Workers = 4
+		}, pdes.ProtoDynamic, ""},
+		{"sharded topo ok", func(o *Opts) {
+			o.Shards = 8
+			o.Workers = 4
+			o.Partition = "topo"
+		}, pdes.ProtoConservative, ""},
+		{"partition without shards ok", func(o *Opts) {
+			o.Partition = "rr"
+			o.Workers = 2
+		}, pdes.ProtoOptimistic, ""},
+		{"negative shards", func(o *Opts) {
+			o.Shards = -1
+		}, pdes.ProtoDynamic, "-shards must be >= 0"},
+		{"bad partition name", func(o *Opts) {
+			o.Partition = "metis"
+		}, pdes.ProtoDynamic, "-partition must be"},
+		{"shards under seq", func(o *Opts) {
+			o.Shards = 2
+			o.Workers = 1
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"shards with user ordering", func(o *Opts) {
+			o.Shards = 2
+			o.Workers = 1
+			o.User = true
+		}, pdes.ProtoDynamic, "-user"},
+		{"shards with restore", func(o *Opts) {
+			o.Shards = 2
+			o.Restore = "ck"
+		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
+		{"partition with restore", func(o *Opts) {
+			o.Partition = "topo"
+			o.Restore = "ck"
+		}, pdes.ProtoDynamic, "recorded in the checkpoint"},
+		{"more workers than shards", func(o *Opts) {
+			o.Shards = 2
+			o.Workers = 4
+		}, pdes.ProtoDynamic, "-workers <= -shards"},
+		{"more distributed workers than shards", func(o *Opts) {
+			o.Shards = 2
+			o.Workers = 1
+			o.Listen = ":0"
+			o.Endpoints = 4
+		}, pdes.ProtoDynamic, "-workers <= -shards"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o := base()
+			c.mutate(&o)
+			err := o.Validate(c.proto)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,173 @@
+// Incremental trace consumption for streaming sessions.
+//
+// A parallel run commits records out of order; the full trace only becomes
+// the deterministic (TS, LP, item) sequence after a final sort. A Cursor
+// recovers increments of that final sequence while the run is still going,
+// using the GVT watermark: once every worker has fossil-collected past a
+// committed GVT (which pdes.Config.OnGVT's lag-one guarantee provides for
+// CheckpointEvery <= 1 runs and sequential runs trivially), no new record
+// below that time can ever appear, so the entries below it can be sorted
+// and emitted as a final prefix.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"govhdl/internal/kernel"
+	"govhdl/internal/pdes"
+	"govhdl/internal/vtime"
+)
+
+// Cursor incrementally drains a Recorder in deterministic order. Advance and
+// Drain must be called from one goroutine at a time (the recorder itself may
+// be fed concurrently). The concatenation of all returned batches equals
+// Recorder.Sorted() of the finished run.
+type Cursor struct {
+	rec      *Recorder
+	consumed int // high-water index into the recorder's commit order
+	pending  []Entry
+}
+
+// NewCursor returns a cursor positioned at the start of rec.
+func NewCursor(rec *Recorder) *Cursor { return &Cursor{rec: rec} }
+
+// Advance collects newly committed records and returns, sorted, those
+// finalized below the watermark: every entry with TS < wm, none of which
+// will ever be committed again. The caller must guarantee the watermark
+// property (see the package comment); watermarks must be nondecreasing
+// across calls.
+func (c *Cursor) Advance(wm vtime.VT) []Entry {
+	fresh, n := c.rec.Since(c.consumed)
+	c.consumed = n
+	c.pending = append(c.pending, fresh...)
+	// Partition in place: ready below the watermark, the rest stays pending.
+	ready := make([]Entry, 0, len(c.pending))
+	keep := c.pending[:0]
+	for _, e := range c.pending {
+		if e.TS.Less(wm) {
+			ready = append(ready, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	c.pending = keep
+	if len(ready) == 0 {
+		return nil
+	}
+	SortEntries(ready)
+	return ready
+}
+
+// Drain returns everything not yet emitted, sorted; call it once after the
+// run has fully unwound. The cursor remains usable only for further Drains
+// (which return nil unless the recorder somehow grew).
+func (c *Cursor) Drain() []Entry {
+	fresh, n := c.rec.Since(c.consumed)
+	c.consumed = n
+	out := append(c.pending, fresh...)
+	c.pending = nil
+	if len(out) == 0 {
+		return nil
+	}
+	SortEntries(out)
+	return out
+}
+
+// VCDStreamer renders a Value Change Dump incrementally from Cursor batches.
+// Unlike WriteVCD — which discovers signals from the finished trace — the
+// streamer needs the header before any data, so it declares every "sig:"
+// signal of the design upfront with widths derived from the initial values.
+// The output for a completed run is semantically equivalent to WriteVCD's
+// (same changes at the same times); the $var section may order or include
+// signals differently, since WriteVCD omits signals that never change.
+type VCDStreamer struct {
+	w       io.Writer
+	idFor   map[pdes.LPID]string
+	started bool
+	curTime vtime.Time
+	pending map[string]string // id -> vcd value text (delta collapse)
+	order   []string
+}
+
+// NewVCDStreamer writes the full VCD header for the built design and
+// returns a streamer ready for Feed. The design must be built (so signal
+// LP IDs are assigned).
+func NewVCDStreamer(w io.Writer, d *kernel.Design, designName string) (*VCDStreamer, error) {
+	s := &VCDStreamer{w: w, idFor: make(map[pdes.LPID]string), pending: map[string]string{}}
+	if _, err := fmt.Fprintf(w, "$date\n  govhdl\n$end\n$version\n  govhdl distributed VHDL simulator\n$end\n$timescale\n  1fs\n$end\n$scope module %s $end\n", designName); err != nil {
+		return nil, err
+	}
+	for i, sig := range d.Signals() {
+		id := vcdID(i)
+		s.idFor[d.SignalLPID(sig)] = id
+		if _, err := fmt.Fprintf(w, "$var wire %d %s %s $end\n", vcdWidth(sig.Init), id, sig.Name); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := fmt.Fprint(w, "$upscope $end\n$enddefinitions $end\n"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Feed consumes one finalized batch (as produced by Cursor.Advance, i.e.
+// sorted, and wholly before every later batch). Delta cycles collapse onto
+// their physical time even across batch boundaries: a time step is only
+// flushed once a later one appears, or at Close.
+func (s *VCDStreamer) Feed(entries []Entry) error {
+	for _, e := range entries {
+		sc, ok := e.Item.(kernel.SigChange)
+		if !ok {
+			continue
+		}
+		id, ok := s.idFor[e.LP]
+		if !ok {
+			continue
+		}
+		if !s.started || e.TS.PT != s.curTime {
+			if err := s.flush(); err != nil {
+				return err
+			}
+			s.curTime = e.TS.PT
+			s.started = true
+		}
+		if _, dup := s.pending[id]; !dup {
+			s.order = append(s.order, id)
+		}
+		s.pending[id] = vcdValue(sc.Value, id)
+	}
+	return nil
+}
+
+// Close flushes the final time step.
+func (s *VCDStreamer) Close() error { return s.flush() }
+
+func (s *VCDStreamer) flush() error {
+	if !s.started || len(s.order) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(s.w, "#%d\n", uint64(s.curTime)); err != nil {
+		return err
+	}
+	for _, id := range s.order {
+		if _, err := fmt.Fprintln(s.w, s.pending[id]); err != nil {
+			return err
+		}
+	}
+	s.pending = map[string]string{}
+	s.order = s.order[:0]
+	return nil
+}
+
+// vcdBody strips the header (everything through $enddefinitions) so the
+// change section of two dumps can be compared regardless of how the signals
+// were declared.
+func vcdBody(dump string) string {
+	const marker = "$enddefinitions $end\n"
+	if i := strings.Index(dump, marker); i >= 0 {
+		return dump[i+len(marker):]
+	}
+	return dump
+}

@@ -68,11 +68,21 @@ func (r *Recorder) Preload(entries []Entry) {
 	r.mu.Unlock()
 }
 
-// Sorted returns the entries in deterministic (TS, LP, item) order.
-func (r *Recorder) Sorted() []Entry {
+// Since returns a copy of the records committed at index n and beyond (in
+// commit order) together with the new high-water index to pass next time:
+// the incremental companion of Entries for streaming consumers.
+func (r *Recorder) Since(n int) ([]Entry, int) {
 	r.mu.Lock()
-	out := append([]Entry(nil), r.entries...)
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	if n >= len(r.entries) {
+		return nil, len(r.entries)
+	}
+	return append([]Entry(nil), r.entries[n:]...), len(r.entries)
+}
+
+// SortEntries orders entries in the deterministic (TS, LP, item) total
+// order used for trace comparison and rendering.
+func SortEntries(out []Entry) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].TS != out[j].TS {
 			return out[i].TS.Less(out[j].TS)
@@ -82,7 +92,20 @@ func (r *Recorder) Sorted() []Entry {
 		}
 		return fmt.Sprint(out[i].Item) < fmt.Sprint(out[j].Item)
 	})
+}
+
+// Sorted returns the entries in deterministic (TS, LP, item) order.
+func (r *Recorder) Sorted() []Entry {
+	r.mu.Lock()
+	out := append([]Entry(nil), r.entries...)
+	r.mu.Unlock()
+	SortEntries(out)
 	return out
+}
+
+// Line renders one entry with its LP name from sys.
+func Line(sys *pdes.System, e Entry) string {
+	return fmt.Sprintf("%s @%v %s", sys.Name(e.LP), e.TS, renderItem(e.Item))
 }
 
 // Lines renders the sorted entries with LP names from sys, one per line.
@@ -90,7 +113,7 @@ func (r *Recorder) Lines(sys *pdes.System) []string {
 	entries := r.Sorted()
 	lines := make([]string, len(entries))
 	for i, e := range entries {
-		lines[i] = fmt.Sprintf("%s @%v %s", sys.Name(e.LP), e.TS, renderItem(e.Item))
+		lines[i] = Line(sys, e)
 	}
 	return lines
 }
@@ -154,27 +177,9 @@ func WriteVCD(w io.Writer, sys *pdes.System, r *Recorder, designName string) err
 	var sigs []*sigInfo
 	nextID := 0
 	mkID := func() string {
-		// VCD identifier characters: printable ASCII 33..126.
-		n := nextID
+		id := vcdID(nextID)
 		nextID++
-		var b []byte
-		for {
-			b = append(b, byte(33+n%94))
-			n = n / 94
-			if n == 0 {
-				break
-			}
-		}
-		return string(b)
-	}
-	widthOf := func(v kernel.Value) int {
-		if vec, ok := v.(stdlogic.Vec); ok {
-			return len(vec)
-		}
-		if _, ok := v.(int64); ok {
-			return 64
-		}
-		return 1
+		return id
 	}
 	for _, e := range entries {
 		sc, ok := e.Item.(kernel.SigChange)
@@ -186,7 +191,7 @@ func WriteVCD(w io.Writer, sys *pdes.System, r *Recorder, designName string) err
 			continue
 		}
 		if _, seen := idFor[e.LP]; !seen {
-			si := &sigInfo{name: strings.TrimPrefix(name, "sig:"), id: mkID(), width: widthOf(sc.Value)}
+			si := &sigInfo{name: strings.TrimPrefix(name, "sig:"), id: mkID(), width: vcdWidth(sc.Value)}
 			idFor[e.LP] = si
 			sigs = append(sigs, si)
 		}
@@ -252,6 +257,30 @@ func WriteVCD(w io.Writer, sys *pdes.System, r *Recorder, designName string) err
 		pendingVals[si.id] = vcdValue(sc.Value, si.id)
 	}
 	return flush()
+}
+
+// vcdID encodes an index as a VCD identifier (printable ASCII 33..126).
+func vcdID(n int) string {
+	var b []byte
+	for {
+		b = append(b, byte(33+n%94))
+		n = n / 94
+		if n == 0 {
+			break
+		}
+	}
+	return string(b)
+}
+
+// vcdWidth derives a signal's VCD bit width from a value it carries.
+func vcdWidth(v kernel.Value) int {
+	if vec, ok := v.(stdlogic.Vec); ok {
+		return len(vec)
+	}
+	if _, ok := v.(int64); ok {
+		return 64
+	}
+	return 1
 }
 
 func vcdValue(v kernel.Value, id string) string {

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"govhdl/internal/kernel"
+	"govhdl/internal/pdes"
 	"govhdl/internal/stdlogic"
 )
 
@@ -207,16 +208,16 @@ end architecture;`
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("division by zero did not fail")
-		}
-		if !strings.Contains(r.(string), "division by zero") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	runAnySim(t, d)
+	_, err = runSeqHelper(d)
+	if err == nil {
+		t.Fatal("division by zero did not fail")
+	}
+	if !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !pdes.IsModelError(err) {
+		t.Fatalf("division by zero not classified as a model error: %v", err)
+	}
 }
 
 // runAnySim runs a sequential simulation for the error tests.

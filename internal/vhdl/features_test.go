@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"govhdl/internal/pdes"
 	"govhdl/internal/stdlogic"
 	"govhdl/internal/vtime"
 )
@@ -230,26 +231,16 @@ begin
 end architecture;
 `
 	d := elaborate(t, src, "osc")
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("zero-delay oscillator did not trip the delta limit")
-		}
-		if !strings.Contains(strings.ToLower(strings.TrimSpace(toString(r))), "delta") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
-	runAnySim(t, d)
-}
-
-func toString(v any) string {
-	if s, ok := v.(string); ok {
-		return s
+	_, err := runSeqHelper(d)
+	if err == nil {
+		t.Fatal("zero-delay oscillator did not trip the delta limit")
 	}
-	if e, ok := v.(error); ok {
-		return e.Error()
+	if !strings.Contains(strings.ToLower(err.Error()), "delta") {
+		t.Fatalf("unexpected error: %v", err)
 	}
-	return ""
+	if !pdes.IsModelError(err) {
+		t.Fatalf("delta limit not classified as a model error: %v", err)
+	}
 }
 
 func TestInoutPortRoundTrip(t *testing.T) {
@@ -296,12 +287,13 @@ begin
 end architecture;
 `
 	d := elaborate(t, src, "wm")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("width mismatch not caught")
-		}
-	}()
-	runAnySim(t, d)
+	_, err := runSeqHelper(d)
+	if err == nil {
+		t.Fatal("width mismatch not caught")
+	}
+	if !strings.Contains(err.Error(), "width mismatch") || !pdes.IsModelError(err) {
+		t.Fatalf("unexpected error: %v", err)
+	}
 }
 
 func TestStdValuesPropagate(t *testing.T) {

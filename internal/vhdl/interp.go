@@ -61,6 +61,26 @@ type interpSnap struct {
 	until   Expr
 }
 
+// CloneFresh produces a pristine interpreter for kernel.Design.CloneFresh:
+// the parsed body and the elaboration-time tables are immutable and shared,
+// but the types map is copied — Run installs "__obj_"+name entries for
+// vector variables when the process first starts, a runtime mutation that
+// must not leak between independent runs of the same cached design.
+func (b *procInterp) CloneFresh() kernel.Behavior {
+	nb := *b
+	nb.types = make(map[string]*Type, len(b.types))
+	for k, t := range b.types {
+		nb.types[k] = t
+	}
+	nb.vars = nil
+	nb.stack = nil
+	nb.started = false
+	nb.until = nil
+	nb.pc = nil
+	nb.ec = evalCtx{}
+	return &nb
+}
+
 // Snapshot deep-copies the mutable interpreter state.
 func (b *procInterp) Snapshot() any {
 	s := &interpSnap{started: b.started, until: b.until}
@@ -125,10 +145,17 @@ func (b *procInterp) WaitCond(p *kernel.ProcCtx) bool {
 	return b.ec.evalBool(b.until)
 }
 
+// recoverEval rethrows evaluation failures as *Error values (which implement
+// pdes.ModelError via ModelDiagnostic): a bad design surfaces as a returned
+// diagnostic from the run, not a crashed goroutine. The process name is
+// folded into the message since the position alone rarely identifies the
+// offending process in a multi-process design.
 func (b *procInterp) recoverEval() {
 	if r := recover(); r != nil {
 		if ee, ok := r.(evalError); ok {
-			panic(fmt.Sprintf("vhdl: %s: %v", b.name, ee.err))
+			e := *ee.err
+			e.Msg = fmt.Sprintf("process %s: %s", b.name, e.Msg)
+			panic(&e)
 		}
 		panic(r)
 	}

@@ -143,3 +143,8 @@ func (e *Error) Error() string {
 	}
 	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
 }
+
+// ModelDiagnostic marks Error as a fault of the simulated design rather than
+// the engine: when one escapes a running process, the pdes layer converts it
+// into a Model-flagged SimError instead of crashing the run.
+func (e *Error) ModelDiagnostic() {}

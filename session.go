@@ -1,0 +1,294 @@
+package govhdl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"govhdl/internal/pdes"
+	"govhdl/internal/supervise"
+	"govhdl/internal/trace"
+	"govhdl/internal/vtime"
+)
+
+// ModelFactory produces a fresh Model for one simulation attempt. A model's
+// signal and process state is consumed by a run, and a session may run more
+// than once (transparent retry after a recoverable transport fault), so the
+// session asks for a new model per attempt. Factories built on a cached
+// design use kernel.Design.CloneFresh; factories for ad-hoc runs re-compile
+// or re-build.
+type ModelFactory func() (*Model, error)
+
+// SessionOptions parameterizes one simulation session.
+type SessionOptions struct {
+	Options
+	// Deadline bounds the session's wall-clock duration (all attempts
+	// together); 0 means none. A session past its deadline is canceled and
+	// Run returns an error wrapping ErrDeadlineExceeded.
+	Deadline time.Duration
+	// MaxFailovers caps transparent retries after recoverable transport
+	// faults; 0 selects the supervise default.
+	MaxFailovers int
+}
+
+// TraceFunc receives finalized trace increments: entries is a batch of the
+// deterministic (TS, LP, item)-sorted committed trace, lines the rendered
+// form. The concatenation of all batches equals Result.TraceLines() of the
+// finished run — including across transparent retries, which replay
+// deterministically so already-delivered entries are skipped, never re-sent.
+type TraceFunc func(entries []trace.Entry, lines []string)
+
+// ErrDeadlineExceeded marks a session that was canceled by its own deadline.
+var ErrDeadlineExceeded = errors.New("govhdl: session deadline exceeded")
+
+// ErrorKind classifies a session failure for callers that map errors onto
+// protocol-level responses (a server's status codes, a CLI's exit codes).
+type ErrorKind int
+
+const (
+	// KindInternal is an engine-side failure: not the design's fault.
+	KindInternal ErrorKind = iota
+	// KindModel is a diagnostic from the simulated design (a division by
+	// zero, a delta-cycle runaway, a failed elaboration): the caller's fault.
+	KindModel
+	// KindCanceled is an explicit Session.Cancel.
+	KindCanceled
+	// KindDeadline is a session canceled by its own SessionOptions.Deadline.
+	KindDeadline
+	// KindStall is a stall-watchdog or deadlock verdict.
+	KindStall
+	// KindTransport is a transport fault that outlived the failover budget.
+	KindTransport
+)
+
+func (k ErrorKind) String() string {
+	switch k {
+	case KindModel:
+		return "model"
+	case KindCanceled:
+		return "canceled"
+	case KindDeadline:
+		return "deadline"
+	case KindStall:
+		return "stall"
+	case KindTransport:
+		return "transport"
+	default:
+		return "internal"
+	}
+}
+
+// Classify maps a session error onto its kind. Deadline takes precedence
+// over the Canceled verdict it is implemented with.
+func Classify(err error) ErrorKind {
+	switch {
+	case errors.Is(err, ErrDeadlineExceeded):
+		return KindDeadline
+	case pdes.IsModelError(err):
+		return KindModel
+	case pdes.IsCanceled(err):
+		return KindCanceled
+	case pdes.IsStall(err):
+		return KindStall
+	}
+	var se *pdes.SimError
+	if errors.As(err, &se) && se.Transport {
+		return KindTransport
+	}
+	return KindInternal
+}
+
+// Session is one simulation run with a lifecycle: create, optionally
+// register a streaming consumer, Run (blocking), Cancel from any goroutine.
+// A session is single-use; Run may be called once.
+//
+// Failure isolation: a recoverable transport fault retries the run
+// transparently (deterministic replay keeps the delivered trace exact); a
+// model diagnostic, stall verdict, cancel or deadline fails only this
+// session with a classified error (see Classify).
+type Session struct {
+	factory ModelFactory
+	opts    SessionOptions
+	onTrace TraceFunc
+
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	deadlined  atomic.Bool
+
+	mu        sync.Mutex
+	ran       bool
+	model     *Model
+	rec       *trace.Recorder
+	delivered int // finalized entries handed to onTrace, across attempts
+
+	// fabric, when set, supplies the endpoints for parallel attempts —
+	// the fault-injection hook for failover tests.
+	fabric func(n int) []pdes.Endpoint
+}
+
+// NewSession creates a session. The factory is invoked once per attempt.
+func NewSession(factory ModelFactory, o SessionOptions) *Session {
+	if o.Until == 0 {
+		o.Until = 1 * MS
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+	return &Session{factory: factory, opts: o, cancel: make(chan struct{})}
+}
+
+// NewSession builds a single-attempt session over an already-compiled model.
+// Transparent retry needs a fresh model per attempt, which an existing model
+// cannot provide, so prefer NewSession with a factory when retries matter.
+func (m *Model) NewSession(o SessionOptions) *Session {
+	used := false
+	return NewSession(func() (*Model, error) {
+		if used {
+			return nil, fmt.Errorf("govhdl: model state was consumed by the previous attempt; use a ModelFactory for retryable sessions")
+		}
+		used = true
+		return m, nil
+	}, o)
+}
+
+// OnTrace registers the streaming consumer. Must be called before Run; the
+// callback fires on the session's goroutines, serially.
+func (s *Session) OnTrace(fn TraceFunc) { s.onTrace = fn }
+
+// Cancel aborts the session from any goroutine; idempotent. The run unwinds
+// promptly (workers are poisoned mid-round; the sequential loop polls) and
+// Run returns an error classified KindCanceled.
+func (s *Session) Cancel() { s.cancelOnce.Do(func() { close(s.cancel) }) }
+
+// Model returns the model of the current (or last) attempt, nil before Run
+// first invokes the factory. LP numbering is identical across attempts.
+func (s *Session) Model() *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+// Run executes the session to completion and returns its result. Blocking;
+// use a goroutine and Cancel/Deadline for asynchronous control.
+func (s *Session) Run() (*Result, error) {
+	s.mu.Lock()
+	if s.ran {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("govhdl: session already run")
+	}
+	s.ran = true
+	s.mu.Unlock()
+
+	if d := s.opts.Deadline; d > 0 {
+		t := time.AfterFunc(d, func() {
+			s.deadlined.Store(true)
+			s.Cancel()
+		})
+		defer t.Stop()
+	}
+
+	sup := &supervise.Supervisor{MaxFailovers: s.opts.MaxFailovers}
+	res, err := sup.Run(func(attempt int, _ *pdes.Checkpoint) (*pdes.Result, error) {
+		return s.attempt()
+	})
+	if err != nil {
+		if s.deadlined.Load() && Classify(err) == KindCanceled {
+			return nil, fmt.Errorf("%w (%v): %v", ErrDeadlineExceeded, s.opts.Deadline, err)
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &Result{Run: res, Trace: s.rec, model: s.model}, nil
+}
+
+// attempt executes one simulation attempt with streaming delivery.
+func (s *Session) attempt() (*pdes.Result, error) {
+	m, err := s.factory()
+	if err != nil {
+		return nil, err
+	}
+	o := s.opts.Options
+	var rec *trace.Recorder
+	var sink pdes.TraceSink
+	if !o.NoTrace {
+		rec = trace.NewRecorder()
+		sink = rec
+	}
+	s.mu.Lock()
+	s.model, s.rec = m, rec
+	s.mu.Unlock()
+
+	// Cross-attempt dedup: a retry deterministically replays the committed
+	// trace, so the first `delivered` finalized entries are skipped instead
+	// of re-sent. attemptSeen counts this attempt's finalized entries.
+	attemptSeen := 0
+	deliver := func(entries []trace.Entry) {
+		if len(entries) == 0 {
+			return
+		}
+		s.mu.Lock()
+		skip := 0
+		if attemptSeen < s.delivered {
+			skip = s.delivered - attemptSeen
+			if skip > len(entries) {
+				skip = len(entries)
+			}
+		}
+		attemptSeen += len(entries)
+		if attemptSeen > s.delivered {
+			s.delivered = attemptSeen
+		}
+		s.mu.Unlock()
+		fresh := entries[skip:]
+		if len(fresh) == 0 {
+			return
+		}
+		lines := make([]string, len(fresh))
+		for i, e := range fresh {
+			lines[i] = trace.Line(m.sys, e)
+		}
+		s.onTrace(fresh, lines)
+	}
+
+	cfg := o.config()
+	cfg.Cancel = s.cancel
+
+	stream := s.onTrace != nil && rec != nil
+	var cur *trace.Cursor
+	if stream && o.Protocol != Sequential && o.CheckpointEvery <= 1 {
+		// Incremental delivery at GVT rounds. The lag-one watermark (trace
+		// below the previous GVT is fully committed when OnGVT fires) holds
+		// for CheckpointEvery <= 1 — the default, where every processed
+		// record carries a snapshot and fossil collection commits everything
+		// below GVT each pass. Sparse-checkpoint runs defer to the final
+		// drain instead.
+		cur = trace.NewCursor(rec)
+		var lastWM vtime.VT
+		cfg.OnGVT = func(gvt vtime.VT) {
+			deliver(cur.Advance(lastWM))
+			lastWM = gvt
+		}
+	}
+
+	var res *pdes.Result
+	if o.Protocol == Sequential {
+		res, err = pdes.RunSequentialCancelable(m.sys, o.Until, sink, s.cancel)
+	} else if s.fabric != nil {
+		res, err = pdes.RunOn(m.sys, cfg, o.Until, sink, s.fabric(cfg.Workers+1))
+	} else {
+		res, err = pdes.Run(m.sys, cfg, o.Until, sink)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stream {
+		if cur == nil {
+			cur = trace.NewCursor(rec)
+		}
+		deliver(cur.Drain())
+	}
+	return res, nil
+}

@@ -1,0 +1,208 @@
+package govhdl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"govhdl/internal/circuits"
+	"govhdl/internal/faultinject"
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
+)
+
+func fsmFactory(machines int) ModelFactory {
+	return func() (*Model, error) {
+		return FromDesign(circuits.BuildFSM(circuits.FSMOpts{Machines: machines}).Design), nil
+	}
+}
+
+// lineCollector accumulates streamed batches, serialized by the session.
+type lineCollector struct {
+	mu      sync.Mutex
+	lines   []string
+	batches int
+}
+
+func (c *lineCollector) fn() TraceFunc {
+	return func(_ []trace.Entry, lines []string) {
+		c.mu.Lock()
+		c.lines = append(c.lines, lines...)
+		c.batches++
+		c.mu.Unlock()
+	}
+}
+
+func (c *lineCollector) joined() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return strings.Join(c.lines, "\n")
+}
+
+func soloFSMTrace(t *testing.T, machines int, until Time) string {
+	t.Helper()
+	m, err := fsmFactory(machines)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Simulate(Options{Protocol: Sequential, Until: until})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(res.TraceLines(), "\n")
+}
+
+func TestSessionStreamsIdenticalTrace(t *testing.T) {
+	const until = 1 * US
+	want := soloFSMTrace(t, 2, until)
+
+	s := NewSession(fsmFactory(2), SessionOptions{Options: Options{
+		Protocol: Mixed, Workers: 2, Until: until,
+	}})
+	col := &lineCollector{}
+	s.OnTrace(col.fn())
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col.joined() != want {
+		t.Fatalf("streamed trace diverged from solo sequential run (%d vs %d bytes)",
+			len(col.joined()), len(want))
+	}
+	if got := strings.Join(res.TraceLines(), "\n"); got != want {
+		t.Fatal("session Result trace diverged from solo run")
+	}
+	if col.batches < 2 {
+		t.Fatalf("streaming was vacuous: %d batches", col.batches)
+	}
+}
+
+func TestSessionFailoverPreservesStream(t *testing.T) {
+	const until = 1 * US
+	want := soloFSMTrace(t, 2, until)
+
+	s := NewSession(fsmFactory(2), SessionOptions{Options: Options{
+		Protocol: Mixed, Workers: 2, Until: until,
+	}})
+	// First attempt dies of an injected transport fault mid-run; the retry
+	// replays deterministically and the stream must come out exact — no
+	// gaps, no duplicates.
+	attempts := 0
+	s.fabric = func(n int) []pdes.Endpoint {
+		attempts++
+		eps := pdes.NewLocalFabric(n)
+		if attempts == 1 {
+			eps, _ = faultinject.WrapFabric(eps, faultinject.Plan{Seed: 7, DieAfterSends: 400})
+		}
+		return eps
+	}
+	col := &lineCollector{}
+	s.OnTrace(col.fn())
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("expected exactly one failover, got %d attempts", attempts)
+	}
+	if col.joined() != want {
+		t.Fatal("streamed trace across failover diverged from solo run")
+	}
+}
+
+func TestSessionDeadlineExceeded(t *testing.T) {
+	s := NewSession(fsmFactory(2), SessionOptions{
+		Options:  Options{Protocol: Optimistic, Workers: 2, Until: 1000 * MS},
+		Deadline: 50 * time.Millisecond,
+	})
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("deadline did not fire")
+	}
+	if Classify(err) != KindDeadline {
+		t.Fatalf("Classify(%v) = %v, want deadline", err, Classify(err))
+	}
+}
+
+func TestSessionCancel(t *testing.T) {
+	s := NewSession(fsmFactory(2), SessionOptions{Options: Options{
+		Protocol: Optimistic, Workers: 2, Until: 1000 * MS,
+	}})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		s.Cancel()
+	}()
+	_, err := s.Run()
+	if Classify(err) != KindCanceled {
+		t.Fatalf("Classify(%v) = %v, want canceled", err, Classify(err))
+	}
+	// Idempotent, including after completion.
+	s.Cancel()
+}
+
+func TestSessionModelErrorClassified(t *testing.T) {
+	const src = `entity dz is end entity;
+architecture a of dz is
+  signal x : integer := 0;
+begin
+  p : process begin
+    x <= 1 / 0;
+    wait;
+  end process;
+end architecture;`
+	factory := func() (*Model, error) {
+		return Compile("dz", Source{Name: "dz.vhd", Text: src})
+	}
+	for _, proto := range []Protocol{Sequential, Optimistic} {
+		s := NewSession(factory, SessionOptions{Options: Options{
+			Protocol: proto, Workers: 2, Until: 1 * US,
+		}})
+		_, err := s.Run()
+		if err == nil {
+			t.Fatalf("%v: model error not surfaced", proto)
+		}
+		if Classify(err) != KindModel {
+			t.Fatalf("%v: Classify(%v) = %v, want model", proto, err, Classify(err))
+		}
+		if !strings.Contains(err.Error(), "division by zero") {
+			t.Fatalf("%v: diagnostic lost: %v", proto, err)
+		}
+	}
+}
+
+func TestSessionCompileErrorClassified(t *testing.T) {
+	factory := func() (*Model, error) {
+		return Compile("x", Source{Name: "x.vhd", Text: "entity ; garbage"})
+	}
+	s := NewSession(factory, SessionOptions{Options: Options{Until: 1 * US}})
+	_, err := s.Run()
+	if err == nil {
+		t.Fatal("compile error not surfaced")
+	}
+	if Classify(err) != KindModel {
+		t.Fatalf("Classify(%v) = %v, want model", err, Classify(err))
+	}
+}
+
+func TestSessionSingleUse(t *testing.T) {
+	s := NewSession(fsmFactory(2), SessionOptions{Options: Options{
+		Protocol: Sequential, Until: 100 * NS,
+	}})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("second Run succeeded")
+	}
+}
+
+func TestModelNewSessionConvenience(t *testing.T) {
+	m, err := fsmFactory(2)()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewSession(SessionOptions{Options: Options{Protocol: Sequential, Until: 100 * NS}})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
