@@ -40,6 +40,7 @@ import (
 	"govhdl/internal/trace"
 	"govhdl/internal/transport"
 	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
 	"govhdl/internal/vtime"
 )
 
@@ -54,6 +55,7 @@ type runOpts struct {
 	showStats bool
 	verify    bool
 	compare   bool
+	vetJSON   bool
 
 	gvtAdapt bool
 
@@ -87,6 +89,9 @@ func main() {
 	flag.BoolVar(&o.showStats, "stats", true, "print protocol metrics")
 	flag.BoolVar(&o.verify, "verify", true, "verify built-in circuits against their reference models")
 	flag.BoolVar(&o.compare, "compare", false, "also run the sequential kernel and require identical committed traces")
+	flag.BoolVar(&o.Vet, "vet", false, "lint the VHDL design instead of simulating: exit 0 if clean, 1 on error findings, 2 on usage/parse errors")
+	flag.BoolVar(&o.VetStrict, "vet-strict", false, "like -vet, but warning findings also exit 1")
+	flag.BoolVar(&o.vetJSON, "vet-json", false, "with -vet: write the report as JSON to stdout instead of vet lines to stderr")
 
 	flag.StringVar(&o.Listen, "listen", "", "distributed: listen address (this process hosts the controller)")
 	flag.StringVar(&o.Connect, "connect", "", "distributed: hub address to join")
@@ -116,10 +121,65 @@ func main() {
 	flag.Parse()
 	o.files = flag.Args()
 
+	if o.VetStrict || o.vetJSON {
+		o.Vet = true
+	}
+	if o.Vet {
+		os.Exit(runVet(o))
+	}
+
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "pvsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runVet is the -vet mode: parse the given VHDL files, run every registered
+// design-lint rule, report, and exit without simulating. Exit codes follow
+// govhdlvet: 0 clean (or warnings without -vet-strict), 1 findings, 2 usage
+// or parse errors. The JSON report comes from lint.WriteJSON — the same
+// serialization the govhdld /v1/lint endpoint uses, so the two surfaces emit
+// byte-identical reports for the same design.
+func runVet(o runOpts) int {
+	usage := func(err error) int {
+		fmt.Fprintln(os.Stderr, "pvsim:", err)
+		return 2
+	}
+	proto, err := runopts.ParseProtocol(o.Protocol)
+	if err != nil {
+		return usage(err)
+	}
+	if err := o.Opts.Validate(proto); err != nil {
+		return usage(err)
+	}
+	if len(o.files) == 0 {
+		return usage(fmt.Errorf("-vet needs VHDL files to analyze"))
+	}
+	var dfs []*vhdl.DesignFile
+	for _, f := range o.files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return usage(err)
+		}
+		df, err := vhdl.Parse(f, string(src))
+		if err != nil {
+			return usage(err)
+		}
+		dfs = append(dfs, df)
+	}
+	diags := lint.Analyze(dfs...)
+	if o.vetJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			return usage(err)
+		}
+	} else {
+		lint.WriteText(os.Stderr, diags)
+	}
+	errs, warns := lint.Counts(diags)
+	if errs > 0 || (o.VetStrict && warns > 0) {
+		return 1
+	}
+	return 0
 }
 
 // checkpointFile is the on-disk restart image: the engine checkpoint plus

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"govhdl/internal/runopts"
+	"govhdl/internal/server"
+)
+
+func lintFixture(name string) string {
+	return filepath.Join("..", "..", "internal", "vhdl", "lint", "testdata", name)
+}
+
+func vetOpts(files ...string) runOpts {
+	o := runOpts{Opts: runopts.Opts{Protocol: "dynamic", Workers: 1, SaveEvery: 1}}
+	o.Vet = true
+	o.files = files
+	return o
+}
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what fn wrote.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func TestRunVetExitCodes(t *testing.T) {
+	broken := filepath.Join(t.TempDir(), "broken.vhd")
+	if err := os.WriteFile(broken, []byte("entity oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*runOpts)
+		files  []string
+		want   int
+	}{
+		{"clean design", nil, []string{lintFixture("clean_unused.vhd")}, 0},
+		{"warnings pass by default", nil, []string{lintFixture("bad_unused.vhd")}, 0},
+		{"warnings fail under strict", func(o *runOpts) { o.VetStrict = true }, []string{lintFixture("bad_unused.vhd")}, 1},
+		{"errors fail", nil, []string{lintFixture("bad_multidriver.vhd")}, 1},
+		{"no files", nil, nil, 2},
+		{"missing file", nil, []string{lintFixture("nosuch.vhd")}, 2},
+		{"parse error", nil, []string{broken}, 2},
+		{"vet with circuit", func(o *runOpts) { o.Circuit = "fsm" }, []string{lintFixture("clean_unused.vhd")}, 2},
+		{"bad protocol still rejected", func(o *runOpts) { o.Protocol = "warp9" }, []string{lintFixture("clean_unused.vhd")}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := vetOpts(tc.files...)
+			if tc.mutate != nil {
+				tc.mutate(&o)
+			}
+			if got := runVet(o); got != tc.want {
+				t.Errorf("exit = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestVetJSONMatchesServerLintEndpoint pins the acceptance guarantee: for
+// the same sources under the same names, `pvsim -vet-json` and govhdld's
+// POST /v1/lint emit byte-identical reports.
+func TestVetJSONMatchesServerLintEndpoint(t *testing.T) {
+	sv := server.New(server.Config{})
+	ts := httptest.NewServer(sv.Handler())
+	defer func() {
+		sv.Shutdown()
+		ts.Close()
+	}()
+
+	for _, name := range []string{"bad_multidriver.vhd", "bad_unused.vhd", "clean_unused.vhd"} {
+		t.Run(name, func(t *testing.T) {
+			path := lintFixture(name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			o := vetOpts(path)
+			o.vetJSON = true
+			cli := captureStdout(t, func() { runVet(o) })
+
+			body, _ := json.Marshal(server.LintRequest{
+				Sources: []server.SourceRequest{{Name: path, Text: string(src)}},
+			})
+			resp, err := http.Post(ts.URL+"/v1/lint", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("lint endpoint: status %d", resp.StatusCode)
+			}
+			srv, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(cli, srv) {
+				t.Errorf("CLI and server reports differ:\nCLI:\n%s\nserver:\n%s", cli, srv)
+			}
+		})
+	}
+}

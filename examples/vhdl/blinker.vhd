@@ -1,0 +1,47 @@
+-- Clock-divided blinker: a free-running 3-bit counter toggles the LED every
+-- eighth rising edge. The testbench instantiates it under a 10 ns clock and
+-- reports each LED transition.
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity blinker is
+  port (clk : in std_logic;
+        led : out std_logic);
+end entity;
+
+architecture rtl of blinker is
+  signal cnt   : std_logic_vector(2 downto 0) := "000";
+  signal state : std_logic := '0';
+begin
+  tick : process (clk)
+  begin
+    if rising_edge(clk) then
+      cnt <= cnt + 1;
+      if cnt = "111" then
+        state <= not state;
+      end if;
+    end if;
+  end process;
+
+  led <= state;
+end architecture;
+
+entity blinker_tb is end entity;
+
+architecture sim of blinker_tb is
+  signal clk : std_logic := '0';
+  signal led : std_logic;
+begin
+  clkgen : process
+  begin
+    wait for 5 ns;
+    clk <= not clk;
+  end process;
+
+  dut : entity work.blinker port map (clk => clk, led => led);
+
+  monitor : process (led)
+  begin
+    report "led toggled";
+  end process;
+end architecture;

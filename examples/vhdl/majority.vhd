@@ -1,0 +1,42 @@
+-- 2-of-3 majority voter with a self-checking testbench: the stimulus walks
+-- through input combinations and asserts the voted output after each settle.
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity majority is
+  port (a : in std_logic;
+        b : in std_logic;
+        c : in std_logic;
+        y : out std_logic);
+end entity;
+
+architecture rtl of majority is
+begin
+  vote : y <= (a and b) or (a and c) or (b and c);
+end architecture;
+
+entity majority_tb is end entity;
+
+architecture sim of majority_tb is
+  signal a : std_logic := '0';
+  signal b : std_logic := '0';
+  signal c : std_logic := '0';
+  signal y : std_logic;
+begin
+  dut : entity work.majority port map (a => a, b => b, c => c, y => y);
+
+  stim : process
+  begin
+    a <= '1';
+    b <= '1';
+    wait for 2 ns;
+    assert y = '1' report "majority(1,1,0) /= 1" severity error;
+    a <= '0';
+    wait for 2 ns;
+    assert y = '0' report "majority(0,1,0) /= 0" severity error;
+    c <= '1';
+    wait for 2 ns;
+    assert y = '1' report "majority(0,1,1) /= 1" severity error;
+    wait;
+  end process;
+end architecture;

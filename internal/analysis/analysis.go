@@ -105,6 +105,9 @@ func DefaultConfig() *Config {
 			"govhdl/internal/kernel",
 			"govhdl/internal/vtime",
 			"govhdl/internal/pdes",
+			"govhdl/internal/server",
+			"govhdl/internal/trace",
+			"govhdl/internal/supervise",
 			FixturePrefix + "/nondet_core",
 			FixturePrefix + "/maprange_core",
 		},

@@ -23,6 +23,15 @@ type Signal struct {
 	lookahead vtime.Time
 }
 
+// NumDrivers returns how many processes drive the signal.
+func (s *Signal) NumDrivers() int { return len(s.drivers) }
+
+// Resolved reports whether the signal has a resolution function. An
+// unresolved signal with more than one driver has no defined value; Build
+// panics on it, so front ends check before building (vhdl.Library.Elaborate
+// turns the condition into a positioned model error).
+func (s *Signal) Resolved() bool { return s.resolution != nil }
+
 // reader is one (process, input-port) pair fed by a signal.
 type reader struct {
 	proc *Process

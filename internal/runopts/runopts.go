@@ -48,12 +48,21 @@ type Opts struct {
 	FaultKillWrites int
 	FaultDieSends   int
 	FaultMuteSends  int
+
+	// Vet requests design lint (internal/vhdl/lint) instead of simulation;
+	// VetStrict additionally makes warnings fatal. Callers treat VetStrict
+	// as implying Vet.
+	Vet       bool
+	VetStrict bool
 }
 
 // Validate rejects option combinations whose semantics conflict, before any
 // expensive work happens. Callers must apply the -checkpoint-file =>
 // -checkpoint-rounds default first. An empty StallPolicy means "fail".
 func (o *Opts) Validate(proto pdes.Protocol) error {
+	if (o.Vet || o.VetStrict) && o.Circuit != "" {
+		return fmt.Errorf("-vet analyzes VHDL source: it cannot be combined with -circuit (built-in circuits carry no VHDL to lint)")
+	}
 	fault := o.FaultKillWrites > 0 || o.FaultDieSends > 0 || o.FaultMuteSends > 0
 	if o.Restore != "" && fault {
 		return fmt.Errorf("-restore cannot be combined with -fault-* flags: a restored run must replay the saved cut faithfully, not inject fresh faults")

@@ -25,6 +25,8 @@ import (
 	"govhdl/internal/kernel"
 	"govhdl/internal/runopts"
 	"govhdl/internal/trace"
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
 )
 
 // Config parameterizes the service.
@@ -90,6 +92,9 @@ type Server struct {
 	failed   int
 	canceled int
 
+	lintRuns     int // lint passes executed (submits with sources + /v1/lint calls)
+	lintFindings int // total diagnostics those passes produced
+
 	wg sync.WaitGroup // running session goroutines
 }
 
@@ -108,10 +113,12 @@ func New(cfg Config) *Server {
 func (sv *Server) Cache() *Cache { return sv.cache }
 
 // Shutdown cancels every live session and waits for their goroutines.
+// Sessions are canceled in creation order so repeated shutdowns cancel (and
+// log, where cancellation is observed) deterministically.
 func (sv *Server) Shutdown() {
 	sv.mu.Lock()
-	for _, ss := range sv.sessions {
-		ss.sim.Cancel()
+	for _, id := range sv.order {
+		sv.sessions[id].sim.Cancel()
 	}
 	sv.mu.Unlock()
 	sv.wg.Wait()
@@ -125,6 +132,7 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", sv.handleTrace)
 	mux.HandleFunc("GET /v1/sessions/{id}/vcd", sv.handleVCD)
 	mux.HandleFunc("POST /v1/sessions/{id}/cancel", sv.handleCancel)
+	mux.HandleFunc("POST /v1/lint", sv.handleLint)
 	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -157,6 +165,12 @@ type SessionRequest struct {
 	StallTimeout   string `json:"stall_timeout,omitempty"`
 	Deadline       string `json:"deadline,omitempty"`
 	NoTrace        bool   `json:"no_trace,omitempty"`
+
+	// Vet gates the submission on design lint: error findings reject it with
+	// 422 and the lint report as the body. VetStrict also rejects warnings.
+	// Findings are attached to the session status either way.
+	Vet       bool `json:"vet,omitempty"`
+	VetStrict bool `json:"vet_strict,omitempty"`
 }
 
 // SessionReply answers submit and status requests.
@@ -170,6 +184,8 @@ type SessionReply struct {
 	GVT        string `json:"gvt,omitempty"`
 	Wall       string `json:"wall,omitempty"`
 	Metrics    string `json:"metrics,omitempty"`
+	// Lint carries the design-lint report for VHDL submissions.
+	Lint *lint.Report `json:"lint,omitempty"`
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
@@ -220,13 +236,28 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The shared validator keeps a request and the equivalent pvsim
 	// invocation rejecting the same combinations with the same messages.
 	shared := runopts.Opts{
+		Circuit:      req.Circuit,
 		Workers:      req.Workers,
 		User:         req.UserConsistent,
 		StallTimeout: stallTimeout,
 		MemBudget:    req.MemBudget,
+		Vet:          req.Vet,
+		VetStrict:    req.VetStrict,
 	}
 	if err := shared.Validate(proto); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Design lint runs on every VHDL submission — the findings ride on the
+	// session status — and, when the request opts in via vet/vet_strict,
+	// fatal findings reject the submission before a queue slot is spent.
+	lintRep := sv.lintSources(req.Sources)
+	if lintRep != nil && (req.Vet || req.VetStrict) &&
+		(lintRep.Errors > 0 || (req.VetStrict && lintRep.Warnings > 0)) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		lint.WriteJSON(w, lintRep.Diagnostics)
 		return
 	}
 
@@ -281,6 +312,7 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	sv.mu.Unlock()
 
 	ss := newSession(id, cached, nil)
+	ss.lint = lintRep
 	// The wrapper publishes the attempt's design to the session record as
 	// soon as the factory produces it, so VCD streaming can write its
 	// header before the run completes.
@@ -309,6 +341,72 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(SessionReply{ID: id, State: StateQueued, Cached: cached})
+}
+
+// lintSources runs design lint over a submission's VHDL sources and returns
+// the report, accounting the pass in the lint metrics. Empty submissions
+// (circuit requests) and sources that fail to parse return nil: the compile
+// path reports parse errors with the proper message and status.
+func (sv *Server) lintSources(srcs []SourceRequest) *lint.Report {
+	if len(srcs) == 0 {
+		return nil
+	}
+	dfs := make([]*vhdl.DesignFile, 0, len(srcs))
+	for _, s := range srcs {
+		df, err := vhdl.Parse(s.Name, s.Text)
+		if err != nil {
+			return nil
+		}
+		dfs = append(dfs, df)
+	}
+	diags := lint.Analyze(dfs...)
+	errs, warns := lint.Counts(diags)
+	sv.mu.Lock()
+	sv.lintRuns++
+	sv.lintFindings += len(diags)
+	sv.mu.Unlock()
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	return &lint.Report{Diagnostics: diags, Errors: errs, Warnings: warns}
+}
+
+// LintRequest is the /v1/lint payload: sources only, no run options.
+type LintRequest struct {
+	Sources []SourceRequest `json:"sources"`
+}
+
+// handleLint is the dedicated design-lint endpoint: parse, analyze, report —
+// no session, no queue slot, no simulation. The body is written by
+// lint.WriteJSON, the same serialization `pvsim -vet-json` uses, so the two
+// surfaces emit byte-identical reports for the same sources.
+func (sv *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	var req LintRequest
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Sources) == 0 {
+		httpError(w, http.StatusBadRequest, "nothing to lint: give sources")
+		return
+	}
+	dfs := make([]*vhdl.DesignFile, 0, len(req.Sources))
+	for _, s := range req.Sources {
+		df, err := vhdl.Parse(s.Name, s.Text)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		dfs = append(dfs, df)
+	}
+	diags := lint.Analyze(dfs...)
+	sv.mu.Lock()
+	sv.lintRuns++
+	sv.lintFindings += len(diags)
+	sv.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	lint.WriteJSON(w, diags)
 }
 
 // factoryFor resolves a request's design into a per-attempt model factory.
@@ -439,6 +537,7 @@ func replyFor(ss *session) SessionReply {
 		rep.Wall = res.Run.Wall.String()
 		rep.Metrics = res.Run.Metrics.String()
 	}
+	rep.Lint = ss.lint
 	return rep
 }
 
@@ -526,6 +625,7 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	sv.mu.Lock()
 	queued, active := sv.queued, sv.active
 	done, failed, canceled := sv.done, sv.failed, sv.canceled
+	lintRuns, lintFindings := sv.lintRuns, sv.lintFindings
 	total := len(sv.order)
 	ids := append([]string(nil), sv.order...)
 	sessions := make([]*session, len(ids))
@@ -547,6 +647,8 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "sessions_failed %d\n", failed)
 	fmt.Fprintf(w, "sessions_canceled %d\n", canceled)
 	fmt.Fprintf(w, "sessions_total %d\n", total)
+	fmt.Fprintf(w, "lint_runs %d\n", lintRuns)
+	fmt.Fprintf(w, "lint_findings %d\n", lintFindings)
 
 	for _, ss := range sessions {
 		rep := replyFor(ss)

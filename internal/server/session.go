@@ -3,11 +3,11 @@ package server
 import (
 	"context"
 	"sync"
-	"time"
 
 	"govhdl"
 	"govhdl/internal/kernel"
 	"govhdl/internal/trace"
+	"govhdl/internal/vhdl/lint"
 )
 
 // State is a session's lifecycle position.
@@ -31,9 +31,12 @@ const (
 // here (finalized, deterministic order) so any number of readers can stream
 // from any offset, attach late, or re-read after completion.
 type session struct {
-	id      string
-	cached  bool
-	created time.Time
+	id     string
+	cached bool
+	// lint holds the design-lint report for VHDL submissions. It is set
+	// before the session is published to the sessions map and never written
+	// again, so readers need no lock.
+	lint *lint.Report
 
 	sim *govhdl.Session
 
@@ -49,7 +52,7 @@ type session struct {
 }
 
 func newSession(id string, cached bool, sim *govhdl.Session) *session {
-	s := &session{id: id, cached: cached, created: time.Now(), sim: sim, state: StateQueued}
+	s := &session{id: id, cached: cached, sim: sim, state: StateQueued}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }

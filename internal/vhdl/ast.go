@@ -18,6 +18,7 @@ type DesignFile struct {
 // EntityDecl is an entity declaration.
 type EntityDecl struct {
 	Pos      Pos
+	File     string // source file the declaration was parsed from
 	Name     string
 	Generics []*GenericDecl
 	Ports    []*PortDecl
@@ -63,6 +64,7 @@ type PortDecl struct {
 // ArchBody is an architecture body.
 type ArchBody struct {
 	Pos        Pos
+	File       string // source file the body was parsed from
 	Name       string
 	EntityName string
 	Decls      []Decl

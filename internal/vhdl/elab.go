@@ -23,7 +23,8 @@ func NewLibrary() *Library {
 func (l *Library) Add(df *DesignFile) error {
 	for _, e := range df.Entities {
 		if _, dup := l.entities[e.Name]; dup {
-			return fmt.Errorf("vhdl: duplicate entity %q", e.Name)
+			return &Error{File: e.File, Line: e.Pos.Line, Col: e.Pos.Col,
+				Msg: fmt.Sprintf("duplicate entity %q", e.Name)}
 		}
 		l.entities[e.Name] = e
 	}
@@ -66,15 +67,37 @@ func (c *instCtx) evalCtx() *evalCtx {
 type elaborator struct {
 	lib    *Library
 	design *kernel.Design
+
+	// curFile is the source file of the architecture currently being
+	// elaborated, so errors raised mid-walk carry their file.
+	curFile string
+	// instDepth guards against unbounded recursion (an entity instantiating
+	// itself); see maxElabDepth.
+	instDepth int
+	// sigDecl maps each kernel signal name back to its declaration site, so
+	// post-elaboration checks (driver conflicts) report exact positions.
+	sigDecl map[string]declSite
+}
+
+// declSite is a recorded declaration position.
+type declSite struct {
+	file string
+	pos  Pos
 }
 
 // Elaborate flattens the hierarchy under the named top entity into a kernel
 // design: the paper's post-elaboration model where processes and signals
 // become LPs.
 func (l *Library) Elaborate(top string) (d *kernel.Design, err error) {
+	var e *elaborator
 	defer func() {
 		if r := recover(); r != nil {
 			if ee, ok := r.(evalError); ok {
+				// Evaluation errors carry line/col; the file is whatever
+				// architecture the elaborator was walking when it panicked.
+				if ee.err.File == "" && e != nil {
+					ee.err.File = e.curFile
+				}
 				d, err = nil, ee.err
 				return
 			}
@@ -85,7 +108,7 @@ func (l *Library) Elaborate(top string) (d *kernel.Design, err error) {
 	if !ok {
 		return nil, fmt.Errorf("vhdl: no entity %q in the library", top)
 	}
-	e := &elaborator{lib: l, design: kernel.NewDesign(top)}
+	e = &elaborator{lib: l, design: kernel.NewDesign(top), curFile: ent.File, sigDecl: map[string]declSite{}}
 	ctx := e.newCtx(top)
 	// Top-level ports become free signals (undriven inputs keep defaults).
 	bindings := map[string]*sigRef{}
@@ -96,11 +119,32 @@ func (l *Library) Elaborate(top string) (d *kernel.Design, err error) {
 			init = ctx.evalCtx().eval(p.Default, t)
 		}
 		bindings[p.Name] = e.newSignal(ctx, top+"."+p.Name, t, init)
+		e.sigDecl[top+"."+p.Name] = declSite{file: ent.File, pos: p.Pos}
 	}
 	if err := e.elabInstance(ent, top, nil, bindings); err != nil {
 		return nil, err
 	}
+	if err := e.checkDrivers(); err != nil {
+		return nil, err
+	}
 	return e.design, nil
+}
+
+// checkDrivers rejects unresolved signals with more than one driver — the
+// condition kernel.Design.Build otherwise panics on — as a model error
+// anchored at the signal's declaration. Design lint flags the same designs
+// statically (rule V001) before they reach elaboration.
+func (e *elaborator) checkDrivers() error {
+	for _, s := range e.design.Signals() {
+		if s.Resolved() || s.NumDrivers() <= 1 {
+			continue
+		}
+		site := e.sigDecl[s.Name]
+		return &Error{File: site.file, Line: site.pos.Line, Col: site.pos.Col,
+			Msg: fmt.Sprintf("signal %s has %d drivers but its type has no resolution function (drive it from one process, or declare it std_logic)",
+				s.Name, s.NumDrivers())}
+	}
+	return nil
 }
 
 func (e *elaborator) newCtx(path string) *instCtx {
@@ -154,21 +198,39 @@ func (e *elaborator) newSignal(ctx *instCtx, name string, t *Type, init kernel.V
 
 // elabInstance elaborates one entity instance: pick its architecture,
 // process declarations, then concurrent statements.
+// maxElabDepth bounds the instantiation hierarchy: a design that nests
+// deeper is recursive (an entity reachable from itself) and would otherwise
+// elaborate forever.
+const maxElabDepth = 64
+
 func (e *elaborator) elabInstance(ent *EntityDecl, path string,
 	generics map[string]kernel.Value, ports map[string]*sigRef) error {
 
+	e.instDepth++
+	defer func() { e.instDepth-- }()
+	if e.instDepth > maxElabDepth {
+		return &Error{File: ent.File, Line: ent.Pos.Line, Col: ent.Pos.Col,
+			Msg: fmt.Sprintf("instantiation depth exceeds %d at %s (recursive instantiation?)", maxElabDepth, path)}
+	}
+
 	archs := e.lib.archs[ent.Name]
 	if len(archs) == 0 {
-		return fmt.Errorf("vhdl: entity %q has no architecture", ent.Name)
+		return &Error{File: ent.File, Line: ent.Pos.Line, Col: ent.Pos.Col,
+			Msg: fmt.Sprintf("entity %q has no architecture", ent.Name)}
 	}
 	arch := archs[len(archs)-1] // last analyzed wins (VHDL default rule)
+
+	prevFile := e.curFile
+	e.curFile = arch.File
+	defer func() { e.curFile = prevFile }()
 
 	ctx := e.newCtx(path)
 	for _, g := range ent.Generics {
 		v, ok := generics[g.Name]
 		if !ok {
 			if g.Default == nil {
-				return fmt.Errorf("vhdl: %s: generic %q has no value", path, g.Name)
+				return &Error{File: ent.File, Line: g.Pos.Line, Col: g.Pos.Col,
+					Msg: fmt.Sprintf("%s: generic %q has no value", path, g.Name)}
 			}
 			v = ctx.evalCtx().eval(g.Default, e.resolveType(ctx, g.Type))
 		}
@@ -184,6 +246,7 @@ func (e *elaborator) elabInstance(ent *EntityDecl, path string,
 				init = ctx.evalCtx().eval(p.Default, t)
 			}
 			ref = e.newSignal(ctx, path+"."+p.Name+".open", t, init)
+			e.sigDecl[path+"."+p.Name+".open"] = declSite{file: ent.File, pos: p.Pos}
 		}
 		ctx.signals[p.Name] = ref
 	}
@@ -221,6 +284,7 @@ func (e *elaborator) elabDecls(ctx *instCtx, decls []Decl) error {
 			}
 			for _, name := range d.Names {
 				ctx.signals[name] = e.newSignal(ctx, ctx.path+"."+name, t, init)
+				e.sigDecl[ctx.path+"."+name] = declSite{file: e.curFile, pos: d.Pos}
 			}
 		case *ComponentDecl:
 			ctx.comps[d.Name] = d
@@ -377,7 +441,8 @@ func (e *elaborator) elabInst(ctx *instCtx, inst *InstStmt, path string) error {
 	}
 	ent, ok := e.lib.entities[unit]
 	if !ok {
-		return fmt.Errorf("vhdl: %s: no entity %q for instance %q", path, unit, inst.Label)
+		return &Error{File: e.curFile, Line: inst.Pos.Line, Col: inst.Pos.Col,
+			Msg: fmt.Sprintf("%s: no entity %q for instance %q", path, unit, inst.Label)}
 	}
 	if ports == nil {
 		ports, gens = ent.Ports, ent.Generics
@@ -389,7 +454,8 @@ func (e *elaborator) elabInst(ctx *instCtx, inst *InstStmt, path string) error {
 		name := a.Formal
 		if name == "" {
 			if i >= len(gens) {
-				return fmt.Errorf("vhdl: %s: too many generic associations", path)
+				return &Error{File: e.curFile, Line: inst.Pos.Line, Col: inst.Pos.Col,
+					Msg: fmt.Sprintf("%s: too many generic associations", path)}
 			}
 			name = gens[i].Name
 		}
@@ -403,14 +469,15 @@ func (e *elaborator) elabInst(ctx *instCtx, inst *InstStmt, path string) error {
 		name := a.Formal
 		if name == "" {
 			if i >= len(ports) {
-				return fmt.Errorf("vhdl: %s: too many port associations", path)
+				return &Error{File: e.curFile, Line: inst.Pos.Line, Col: inst.Pos.Col,
+					Msg: fmt.Sprintf("%s: too many port associations", path)}
 			}
 			name = ports[i].Name
 		}
 		if a.Actual == nil {
 			continue // open
 		}
-		ref, err := e.actualToSignal(ctx, a.Actual, path, inst.Label, name)
+		ref, err := e.actualToSignal(ctx, a.Actual, inst.Pos, path, inst.Label, name)
 		if err != nil {
 			return err
 		}
@@ -421,7 +488,7 @@ func (e *elaborator) elabInst(ctx *instCtx, inst *InstStmt, path string) error {
 
 // actualToSignal resolves a port-map actual: a signal name, or a constant
 // expression (materialized as an undriven constant signal).
-func (e *elaborator) actualToSignal(ctx *instCtx, actual Expr, path, label, formal string) (*sigRef, error) {
+func (e *elaborator) actualToSignal(ctx *instCtx, actual Expr, pos Pos, path, label, formal string) (*sigRef, error) {
 	if n, ok := actual.(*Name); ok && n.Args == nil && !n.HasSlice && n.Attr == "" {
 		if ref, ok := ctx.signals[n.Ident]; ok {
 			return ref, nil
@@ -440,7 +507,8 @@ func (e *elaborator) actualToSignal(ctx *instCtx, actual Expr, path, label, form
 	case int64:
 		t = &Type{Kind: tInt, Lo: -1 << 62, Hi: 1<<62 - 1}
 	default:
-		return nil, fmt.Errorf("vhdl: %s: unsupported port actual for %s.%s", path, label, formal)
+		return nil, &Error{File: e.curFile, Line: pos.Line, Col: pos.Col,
+			Msg: fmt.Sprintf("%s: unsupported port actual for %s.%s", path, label, formal)}
 	}
 	name := fmt.Sprintf("%s.%s.%s.const", path, label, formal)
 	return e.newSignal(ctx, name, t, v), nil
@@ -480,7 +548,8 @@ func (e *elaborator) elabProcess(ctx *instCtx, ps *ProcessStmt, name string) err
 				localEnums[lit] = EnumVal{Enum: info, Ord: i}
 			}
 		default:
-			return fmt.Errorf("vhdl: %s: unsupported process declaration %T", name, d)
+			return &Error{File: e.curFile, Line: ps.Pos.Line, Col: ps.Pos.Col,
+				Msg: fmt.Sprintf("%s: unsupported process declaration %T", name, d)}
 		}
 	}
 
@@ -502,6 +571,13 @@ func (e *elaborator) elabProcess(ctx *instCtx, ps *ProcessStmt, name string) err
 	}
 	sc.scanStmts(body)
 	if sc.err != nil {
+		// sigScan errors are positioned; stamp the file and fold in the
+		// process name so the *Error survives to the caller intact.
+		if ee, ok := sc.err.(*Error); ok {
+			ee.File = e.curFile
+			ee.Msg = fmt.Sprintf("%s: %s", name, ee.Msg)
+			return ee
+		}
 		return fmt.Errorf("vhdl: %s: %w", name, sc.err)
 	}
 
@@ -515,6 +591,8 @@ func (e *elaborator) elabProcess(ctx *instCtx, ps *ProcessStmt, name string) err
 
 	bi := &procInterp{
 		name:      name,
+		file:      e.curFile,
+		pos:       ps.Pos,
 		body:      body,
 		varDecls:  varDecls,
 		varTypes:  varTypes,
@@ -607,6 +685,12 @@ var builtinFuncs = map[string]bool{
 	"conv_std_logic_vector": true, "unsigned": true, "signed": true,
 	"to_x01": true, "now": true,
 }
+
+// IsBuiltinName reports whether name is one of the predefined ieee/std
+// function names the front end resolves intrinsically. Exported so design
+// lint (internal/vhdl/lint) filters names with the same rules elaboration
+// uses.
+func IsBuiltinName(name string) bool { return builtinFuncs[name] }
 
 func (s *sigScan) isShadowed(name string) bool {
 	for _, v := range s.shadow {

@@ -1,0 +1,80 @@
+package vhdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestElaborationErrorsArePositioned pins the satellite guarantee that every
+// elaboration failure surfaces as a *Error carrying the file and a non-zero
+// line, so front ends (pvsim, govhdld) can report user source positions
+// instead of bare strings.
+func TestElaborationErrorsArePositioned(t *testing.T) {
+	cases := map[string]struct {
+		src  string
+		top  string
+		want string // substring of the message
+	}{
+		"no architecture": {
+			src:  "entity e is end entity;",
+			top:  "e",
+			want: "no architecture",
+		},
+		"unknown entity instance": {
+			src: `entity e is end entity;
+architecture a of e is begin
+  u1 : entity work.nothere;
+end architecture;`,
+			top:  "e",
+			want: "nothere",
+		},
+		"generic without value": {
+			src: `entity e is generic (n : integer); end entity;
+architecture a of e is begin end architecture;`,
+			top:  "e",
+			want: "generic",
+		},
+		"unresolved multiple drivers": {
+			src: `entity e is end entity;
+architecture a of e is
+  signal s : integer;
+begin
+  p1 : process begin s <= 1; wait; end process;
+  p2 : process begin s <= 2; wait; end process;
+end architecture;`,
+			top:  "e",
+			want: "no resolution function",
+		},
+		"recursive instantiation": {
+			src: `entity e is end entity;
+architecture a of e is begin
+  u : entity work.e;
+end architecture;`,
+			top:  "e",
+			want: "depth",
+		},
+	}
+	for name, c := range cases {
+		t.Run(name, func(t *testing.T) {
+			lib := NewLibrary()
+			if err := lib.ParseAndAdd("pos.vhd", c.src); err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			_, err := lib.Elaborate(c.top)
+			if err == nil {
+				t.Fatal("elaboration succeeded")
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("not a *Error: %T: %v", err, err)
+			}
+			if pe.File == "" || pe.Line == 0 {
+				t.Fatalf("unpositioned error: file=%q line=%d (%v)", pe.File, pe.Line, err)
+			}
+			if !strings.Contains(pe.Msg, c.want) {
+				t.Fatalf("message %q missing %q", pe.Msg, c.want)
+			}
+		})
+	}
+}

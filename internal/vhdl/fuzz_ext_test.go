@@ -1,0 +1,61 @@
+package vhdl_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
+)
+
+// FuzzParse checks the parser's contract: any input either parses or fails
+// with a positioned *vhdl.Error — never a panic, never an unbounded
+// recursion. Successfully parsed files must additionally survive design lint
+// and library filing, since the govhdld server runs both on untrusted
+// uploads before any validation.
+func FuzzParse(f *testing.F) {
+	// Seed with every shipped design and lint fixture, so mutations start
+	// from realistic VHDL rather than noise.
+	for _, pat := range []string{
+		"../../testdata/*.vhd",
+		"../../examples/vhdl/*.vhd",
+		"lint/testdata/*.vhd",
+	} {
+		paths, err := filepath.Glob(pat)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(b))
+		}
+	}
+	// Adversarial shapes: deep nesting, truncation, junk.
+	f.Add(strings.Repeat("(", 1000))
+	f.Add("architecture a of e is begin p : process begin " + strings.Repeat("if x then ", 500))
+	f.Add("entity e is port (a : in bit")
+	f.Add("entity e is end; architecture a of e is begin x <= ")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		df, err := vhdl.Parse("fuzz.vhd", src)
+		if err != nil {
+			var pe *vhdl.Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse returned a non-*vhdl.Error: %T: %v", err, err)
+			}
+			if pe.File != "fuzz.vhd" {
+				t.Fatalf("parse error lost its file: %v", err)
+			}
+			return
+		}
+		lint.Analyze(df)
+		lib := vhdl.NewLibrary()
+		_ = lib.Add(df)
+	})
+}

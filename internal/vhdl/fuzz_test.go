@@ -1,0 +1,36 @@
+package vhdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzLex checks the lexer's contract: any input either tokenizes to an
+// EOF-terminated stream or fails with a positioned *Error — never a panic.
+func FuzzLex(f *testing.F) {
+	f.Add("entity e is end entity;")
+	f.Add(`signal s : std_logic_vector(3 downto 0) := "1010"; -- comment`)
+	f.Add("x <= '1' after 5 ns;\nwait for 10 ns;")
+	f.Add("\"unterminated string")
+	f.Add("'x")
+	f.Add("16#ff# 2#1010# 'a' \"01XZ\"")
+	f.Add(strings.Repeat("-", 100))
+	f.Add("\x00\xff\x80 entity")
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := newLexer("fuzz.vhd", src).lex()
+		if err != nil {
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("lex returned a non-*Error: %T: %v", err, err)
+			}
+			if pe.File != "fuzz.vhd" {
+				t.Fatalf("lex error lost its file: %v", err)
+			}
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != tokEOF {
+			t.Fatal("token stream is not EOF-terminated")
+		}
+	})
+}

@@ -13,6 +13,8 @@ import (
 // processes back like any other LP.
 type procInterp struct {
 	name      string
+	file      string // source file of the process (error stamping)
+	pos       Pos    // position of the process statement
 	body      []Stmt
 	varDecls  []*VarDecl
 	varTypes  map[string]*Type
@@ -155,6 +157,12 @@ func (b *procInterp) recoverEval() {
 		if ee, ok := r.(evalError); ok {
 			e := *ee.err
 			e.Msg = fmt.Sprintf("process %s: %s", b.name, e.Msg)
+			if e.File == "" {
+				e.File = b.file
+			}
+			if e.Line == 0 {
+				e.Line, e.Col = b.pos.Line, b.pos.Col
+			}
 			panic(&e)
 		}
 		panic(r)
@@ -202,7 +210,7 @@ func (b *procInterp) exec(steps *int) (kernel.Wait, bool) {
 	for len(b.stack) > 0 {
 		*steps++
 		if *steps > b.maxSteps {
-			evalPanic(Pos{}, "process %s executed %d steps without suspending (missing wait?)", b.name, b.maxSteps)
+			evalPanic(b.pos, "executed %d steps without suspending (missing wait?)", b.maxSteps)
 		}
 		f := &b.stack[len(b.stack)-1]
 		if f.idx >= len(f.stmts) {

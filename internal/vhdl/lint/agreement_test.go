@@ -1,0 +1,86 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
+	"govhdl/internal/vtime"
+)
+
+// TestLintRuntimeAgreement checks that the lint rules predict real engine
+// behavior: a design flagged with a fatal rule must actually fail when
+// elaborated or simulated, and its clean counterpart must run to completion.
+// This keeps the rules honest — a rule whose "bug" simulates fine is a rule
+// whose message overstates the stakes.
+func TestLintRuntimeAgreement(t *testing.T) {
+	cases := []struct {
+		fixture string
+		top     string
+		rule    string // fatal lint rule expected ("" for clean designs)
+		runErr  string // substring of the elaboration/run failure ("" = must succeed)
+	}{
+		{"bad_multidriver.vhd", "md", "V001", "no resolution function"},
+		{"clean_multidriver.vhd", "mdc", "", ""},
+		{"bad_nowait.vhd", "nw", "V006", "without suspending"},
+		{"clean_nowait.vhd", "nwc", "", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", c.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			df, err := vhdl.Parse(c.fixture, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+
+			// Lint side of the table.
+			diags := lint.Analyze(df)
+			found := ""
+			for _, d := range diags {
+				if d.Severity == lint.SevError {
+					found = d.Rule
+					break
+				}
+			}
+			if found != c.rule {
+				t.Fatalf("lint fatal rule = %q, want %q (diags: %v)", found, c.rule, diags)
+			}
+
+			// Runtime side of the table.
+			lib := vhdl.NewLibrary()
+			if err := lib.Add(df); err != nil {
+				t.Fatalf("library: %v", err)
+			}
+			d, err := lib.Elaborate(c.top)
+			if err == nil {
+				sys := d.Build()
+				_, err = pdes.RunSequential(sys, 100*vtime.NS, trace.NewRecorder())
+			}
+			if c.runErr == "" {
+				if err != nil {
+					t.Fatalf("clean design failed at runtime: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("flagged design ran fine; lint rule %s promised a failure", c.rule)
+			}
+			if !strings.Contains(err.Error(), c.runErr) {
+				t.Fatalf("runtime error = %q, want substring %q", err, c.runErr)
+			}
+			// The failure must be positioned in the user's source: the pdes
+			// layer flattens model errors to text, so check for file:line.
+			if !strings.Contains(err.Error(), c.fixture+":") {
+				t.Fatalf("runtime error carries no source position: %q", err)
+			}
+		})
+	}
+}

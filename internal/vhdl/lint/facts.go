@@ -1,0 +1,569 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"govhdl/internal/vhdl"
+)
+
+// Facts is the extracted fact base: one Unit per (entity, architecture)
+// pair, with per-signal driver/reader sets and per-process read/write/wait
+// facts. Rules never walk the AST themselves — everything they need is here.
+type Facts struct {
+	Units []*Unit
+	// entities indexes every parsed entity by name, for resolving the port
+	// modes of instantiated units across files.
+	entities map[string]*vhdl.EntityDecl
+}
+
+// Unit is the fact scope of one architecture body.
+type Unit struct {
+	File     string
+	Entity   *vhdl.EntityDecl // nil when the named entity is not in the set
+	Arch     *vhdl.ArchBody
+	Signals  map[string]*SignalFact
+	SigOrder []string // declaration order, for deterministic iteration
+	Procs    []*ProcFact
+}
+
+// SignalFact aggregates everything known about one declared signal or port.
+type SignalFact struct {
+	Name     string
+	File     string
+	Pos      vhdl.Pos
+	TypeName string
+	// Resolved reports whether the type carries a resolution function in
+	// this engine: the kernel attaches StdResolution/StdVecResolution to
+	// std_logic-class and vector-class signals, and publishes only
+	// drivers[0] for everything else.
+	Resolved bool
+	IsPort   bool
+	Mode     vhdl.PortMode
+	Drivers  []Endpoint
+	Readers  []Endpoint
+}
+
+// Endpoint is one process or instance connection touching a signal.
+type Endpoint struct {
+	Proc  *ProcFact // nil for an instance connection
+	Label string    // process label or instance label
+	Pos   vhdl.Pos  // first write / read position
+	// Delayed reports that every assignment this endpoint makes to the
+	// signal carries an explicit "after" delay (drivers only).
+	Delayed bool
+}
+
+// ProcKind distinguishes explicit processes from desugared concurrent
+// assignments (which have well-defined implicit sensitivity, IEEE 1076
+// §11.6, and so are exempt from sensitivity-list rules).
+type ProcKind uint8
+
+const (
+	ProcExplicit ProcKind = iota
+	ProcCondAssign
+	ProcSelAssign
+)
+
+// ProcFact holds the per-process facts.
+type ProcFact struct {
+	Unit        *Unit
+	Label       string
+	Pos         vhdl.Pos
+	Kind        ProcKind
+	Sensitivity []string // nil when the process has none
+	SensSet     map[string]bool
+	HasWait     bool
+	EdgeDetect  bool // rising_edge/falling_edge/'event anywhere in the body
+	Reads       map[string]vhdl.Pos
+	Writes      map[string]vhdl.Pos
+	// DeltaWrites marks signals with at least one zero-delay assignment in
+	// this process (a delta-cycle edge for loop detection).
+	DeltaWrites map[string]bool
+}
+
+// Desc names a process in diagnostics: its label when it has one, otherwise
+// its position.
+func (p *ProcFact) Desc() string {
+	what := "process"
+	switch p.Kind {
+	case ProcCondAssign, ProcSelAssign:
+		what = "concurrent assignment"
+	}
+	if p.Label != "" {
+		return fmt.Sprintf("%s %q", what, p.Label)
+	}
+	return fmt.Sprintf("%s at %d:%d", what, p.Pos.Line, p.Pos.Col)
+}
+
+// resolvedTypes are the type marks the elaborator gives a kernel resolution
+// function (tStd -> StdResolution, tVec -> StdVecResolution). Multiple
+// drivers on anything else silently lose every driver but the first.
+var resolvedTypes = map[string]bool{
+	"std_logic": true, "std_ulogic": true, "bit": true,
+	"std_logic_vector": true, "std_ulogic_vector": true, "bit_vector": true,
+	"unsigned": true, "signed": true,
+}
+
+// ExtractFacts runs phase one: walk the parsed files and build the fact
+// base. The files form one design set, so instances resolve across files.
+func ExtractFacts(files []*vhdl.DesignFile) *Facts {
+	f := &Facts{entities: map[string]*vhdl.EntityDecl{}}
+	for _, df := range files {
+		for _, e := range df.Entities {
+			if _, dup := f.entities[e.Name]; !dup {
+				f.entities[e.Name] = e
+			}
+		}
+	}
+	for _, df := range files {
+		for _, a := range df.Archs {
+			f.Units = append(f.Units, extractUnit(f, df.File, a))
+		}
+	}
+	return f
+}
+
+func extractUnit(f *Facts, file string, arch *vhdl.ArchBody) *Unit {
+	u := &Unit{File: file, Entity: f.entities[arch.EntityName], Arch: arch,
+		Signals: map[string]*SignalFact{}}
+
+	declare := func(name, typeName string, pos vhdl.Pos, isPort bool, mode vhdl.PortMode) {
+		if _, dup := u.Signals[name]; dup {
+			return
+		}
+		u.Signals[name] = &SignalFact{
+			Name: name, File: file, Pos: pos, TypeName: typeName,
+			Resolved: resolvedTypes[typeName], IsPort: isPort, Mode: mode,
+		}
+		u.SigOrder = append(u.SigOrder, name)
+	}
+	if u.Entity != nil {
+		for _, p := range u.Entity.Ports {
+			declare(p.Name, typeName(p.Type), p.Pos, true, p.Mode)
+		}
+	}
+
+	// Arch-level shadowing scope: constants, generics, enum literals and
+	// component names are not signals even when a name collides.
+	shadow := map[string]bool{}
+	comps := map[string]*vhdl.ComponentDecl{}
+	if u.Entity != nil {
+		for _, g := range u.Entity.Generics {
+			shadow[g.Name] = true
+		}
+	}
+	for _, d := range arch.Decls {
+		switch d := d.(type) {
+		case *vhdl.SignalDecl:
+			for _, n := range d.Names {
+				declare(n, typeName(d.Type), d.Pos, false, vhdl.ModeIn)
+			}
+		case *vhdl.ConstDecl:
+			for _, n := range d.Names {
+				shadow[n] = true
+			}
+		case *vhdl.EnumTypeDecl:
+			shadow[d.Name] = true
+			for _, lit := range d.Literals {
+				shadow[lit] = true
+			}
+		case *vhdl.ComponentDecl:
+			comps[d.Name] = d
+		}
+	}
+
+	ex := &unitExtractor{facts: f, unit: u, shadow: shadow, comps: comps}
+	ex.concStmts(arch.Stmts, nil)
+	return u
+}
+
+// unitExtractor walks one architecture's concurrent statements.
+type unitExtractor struct {
+	facts *Facts
+	unit  *Unit
+	// shadow holds arch-level non-signal names; loopVars the generate
+	// variables currently in scope.
+	shadow   map[string]bool
+	loopVars []string
+	comps    map[string]*vhdl.ComponentDecl
+	procN    int
+}
+
+func (ex *unitExtractor) isSignal(name string) bool {
+	if ex.shadow[name] || vhdl.IsBuiltinName(name) {
+		return false
+	}
+	for _, v := range ex.loopVars {
+		if v == name {
+			return false
+		}
+	}
+	_, ok := ex.unit.Signals[name]
+	return ok
+}
+
+func (ex *unitExtractor) concStmts(stmts []vhdl.ConcStmt, _ []string) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *vhdl.ProcessStmt:
+			ex.procN++
+			ex.process(s)
+		case *vhdl.CondAssign:
+			ex.procN++
+			p := ex.newProc(s.Label, s.Pos, ProcCondAssign)
+			for _, arm := range s.Arms {
+				ex.exprReads(p, arm.Cond)
+				ex.wave(p, s.Target, arm.Wave)
+			}
+			ex.exprReads(p, s.Reject)
+			ex.finishProc(p)
+		case *vhdl.SelAssign:
+			ex.procN++
+			p := ex.newProc(s.Label, s.Pos, ProcSelAssign)
+			ex.exprReads(p, s.Selector)
+			for _, arm := range s.Arms {
+				for _, c := range arm.Choices {
+					ex.exprReads(p, c)
+				}
+				ex.wave(p, s.Target, arm.Wave)
+			}
+			ex.exprReads(p, s.Reject)
+			ex.finishProc(p)
+		case *vhdl.InstStmt:
+			ex.instance(s)
+		case *vhdl.GenerateStmt:
+			ex.loopVars = append(ex.loopVars, s.Var)
+			ex.concStmts(s.Body, nil)
+			ex.loopVars = ex.loopVars[:len(ex.loopVars)-1]
+		}
+	}
+}
+
+func (ex *unitExtractor) newProc(label string, pos vhdl.Pos, kind ProcKind) *ProcFact {
+	if label == "" {
+		label = fmt.Sprintf("p%d", ex.procN)
+	}
+	return &ProcFact{
+		Unit: ex.unit, Label: label, Pos: pos, Kind: kind,
+		Reads: map[string]vhdl.Pos{}, Writes: map[string]vhdl.Pos{},
+		DeltaWrites: map[string]bool{},
+	}
+}
+
+// finishProc registers the process facts onto each touched signal.
+func (ex *unitExtractor) finishProc(p *ProcFact) {
+	ex.unit.Procs = append(ex.unit.Procs, p)
+	for name, pos := range p.Writes {
+		sf := ex.unit.Signals[name]
+		sf.Drivers = append(sf.Drivers, Endpoint{
+			Proc: p, Label: p.Label, Pos: pos, Delayed: !p.DeltaWrites[name],
+		})
+	}
+	for name, pos := range p.Reads {
+		sf := ex.unit.Signals[name]
+		sf.Readers = append(sf.Readers, Endpoint{Proc: p, Label: p.Label, Pos: pos})
+	}
+}
+
+// process extracts facts from an explicit process statement.
+func (ex *unitExtractor) process(ps *vhdl.ProcessStmt) {
+	p := ex.newProc(ps.Label, ps.Pos, ProcExplicit)
+	p.Sensitivity = ps.Sensitivity
+	if ps.Sensitivity != nil {
+		p.SensSet = map[string]bool{}
+		for _, n := range ps.Sensitivity {
+			p.SensSet[n] = true
+			if ex.isSignal(n) {
+				ex.read(p, n, ps.Pos)
+			}
+		}
+	}
+	// Process-local declarations shadow like-named signals for the body.
+	saved := ex.shadow
+	ex.shadow = map[string]bool{}
+	for k := range saved {
+		ex.shadow[k] = true
+	}
+	for _, d := range ps.Decls {
+		switch d := d.(type) {
+		case *vhdl.VarDecl:
+			for _, n := range d.Names {
+				ex.shadow[n] = true
+			}
+		case *vhdl.ConstDecl:
+			for _, n := range d.Names {
+				ex.shadow[n] = true
+			}
+		case *vhdl.EnumTypeDecl:
+			ex.shadow[d.Name] = true
+			for _, lit := range d.Literals {
+				ex.shadow[lit] = true
+			}
+		}
+	}
+	ex.stmts(p, ps.Body)
+	ex.shadow = saved
+	ex.finishProc(p)
+}
+
+func (ex *unitExtractor) read(p *ProcFact, name string, pos vhdl.Pos) {
+	if !ex.isSignal(name) {
+		return
+	}
+	if _, seen := p.Reads[name]; !seen {
+		p.Reads[name] = pos
+	}
+}
+
+func (ex *unitExtractor) write(p *ProcFact, name string, pos vhdl.Pos, delayed bool) {
+	if !ex.isSignal(name) {
+		return
+	}
+	if _, seen := p.Writes[name]; !seen {
+		p.Writes[name] = pos
+	}
+	if !delayed {
+		p.DeltaWrites[name] = true
+	}
+}
+
+// wave records one waveform assignment to target.
+func (ex *unitExtractor) wave(p *ProcFact, target *vhdl.Name, wave []vhdl.WaveElem) {
+	delayed := len(wave) > 0
+	for _, w := range wave {
+		ex.exprReads(p, w.Value)
+		ex.exprReads(p, w.After)
+		if w.After == nil {
+			delayed = false
+		}
+	}
+	// Index/slice expressions on the target are reads even though the
+	// target itself is a write.
+	for _, a := range target.Args {
+		ex.exprReads(p, a)
+	}
+	ex.exprReads(p, target.SliceLo)
+	ex.exprReads(p, target.SliceHi)
+	ex.write(p, target.Ident, target.Pos, delayed)
+}
+
+func (ex *unitExtractor) stmts(p *ProcFact, stmts []vhdl.Stmt) {
+	for _, st := range stmts {
+		ex.stmt(p, st)
+	}
+}
+
+func (ex *unitExtractor) stmt(p *ProcFact, st vhdl.Stmt) {
+	switch st := st.(type) {
+	case *vhdl.SigAssign:
+		ex.exprReads(p, st.Reject)
+		ex.wave(p, st.Target, st.Wave)
+	case *vhdl.VarAssign:
+		for _, a := range st.Target.Args {
+			ex.exprReads(p, a)
+		}
+		ex.exprReads(p, st.Target.SliceLo)
+		ex.exprReads(p, st.Target.SliceHi)
+		ex.exprReads(p, st.Value)
+	case *vhdl.IfStmt:
+		ex.exprReads(p, st.Cond)
+		ex.stmts(p, st.Then)
+		for _, e := range st.Elifs {
+			ex.exprReads(p, e.Cond)
+			ex.stmts(p, e.Then)
+		}
+		ex.stmts(p, st.Else)
+	case *vhdl.CaseStmt:
+		ex.exprReads(p, st.Expr)
+		for _, arm := range st.Arms {
+			for _, c := range arm.Choices {
+				ex.exprReads(p, c)
+			}
+			ex.stmts(p, arm.Body)
+		}
+	case *vhdl.ForLoop:
+		ex.exprReads(p, st.Lo)
+		ex.exprReads(p, st.Hi)
+		if st.RangeAttr != nil {
+			ex.exprReads(p, st.RangeAttr)
+		}
+		ex.loopVars = append(ex.loopVars, st.Var)
+		ex.stmts(p, st.Body)
+		ex.loopVars = ex.loopVars[:len(ex.loopVars)-1]
+	case *vhdl.WhileLoop:
+		ex.exprReads(p, st.Cond)
+		ex.stmts(p, st.Body)
+	case *vhdl.WaitStmt:
+		p.HasWait = true
+		for _, n := range st.On {
+			ex.read(p, n, st.Pos)
+		}
+		ex.exprReads(p, st.Until)
+		ex.exprReads(p, st.For)
+	case *vhdl.ReportStmt:
+		ex.exprReads(p, st.Assert)
+		ex.exprReads(p, st.Message)
+	case *vhdl.ExitStmt:
+		ex.exprReads(p, st.When)
+	case *vhdl.NextStmt:
+		ex.exprReads(p, st.When)
+	}
+}
+
+// exprReads marks every signal an expression reads, and flags edge
+// detection ('event, rising_edge, falling_edge).
+func (ex *unitExtractor) exprReads(p *ProcFact, e vhdl.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *vhdl.Name:
+		if e.Attr == "event" {
+			p.EdgeDetect = true
+		}
+		if e.Ident == "rising_edge" || e.Ident == "falling_edge" {
+			p.EdgeDetect = true
+		}
+		ex.read(p, e.Ident, e.Pos)
+		for _, a := range e.Args {
+			ex.exprReads(p, a)
+		}
+		ex.exprReads(p, e.SliceLo)
+		ex.exprReads(p, e.SliceHi)
+	case *vhdl.Unary:
+		ex.exprReads(p, e.X)
+	case *vhdl.Binary:
+		ex.exprReads(p, e.L)
+		ex.exprReads(p, e.R)
+	case *vhdl.Aggregate:
+		for _, el := range e.Elems {
+			ex.exprReads(p, el)
+		}
+		ex.exprReads(p, e.Others)
+	}
+}
+
+// instance records the reads and drives an instantiation induces on the
+// signals bound in its port map, using the formal's declared mode. Unknown
+// units (entity outside the set, no component declaration) conservatively
+// count as both reading and driving every actual, so incomplete designs
+// never produce false unused/undriven findings.
+func (ex *unitExtractor) instance(inst *vhdl.InstStmt) {
+	var ports []*vhdl.PortDecl
+	if comp, ok := ex.comps[inst.Unit]; ok && !inst.DirectEnt {
+		ports = comp.Ports
+	} else if ent, ok := ex.facts.entities[inst.Unit]; ok {
+		ports = ent.Ports
+	}
+	label := inst.Label
+	if label == "" {
+		label = inst.Unit
+	}
+	for i, a := range inst.PortMap {
+		if a.Actual == nil {
+			continue // open
+		}
+		// Resolve the formal's mode; default to inout when unknown.
+		mode, known := vhdl.ModeInOut, false
+		switch {
+		case a.Formal != "":
+			for _, pd := range ports {
+				if pd.Name == a.Formal {
+					mode, known = pd.Mode, true
+					break
+				}
+			}
+		case i < len(ports):
+			mode, known = ports[i].Mode, true
+		}
+		reads := !known || mode == vhdl.ModeIn || mode == vhdl.ModeInOut
+		drives := !known || mode == vhdl.ModeOut || mode == vhdl.ModeInOut
+
+		// A plain signal name is connected directly; any other expression
+		// only reads its signals (constant folding or conversions).
+		if n, ok := a.Actual.(*vhdl.Name); ok && n.Args == nil && !n.HasSlice &&
+			n.Attr == "" && ex.isSignal(n.Ident) {
+			sf := ex.unit.Signals[n.Ident]
+			if reads {
+				sf.Readers = append(sf.Readers, Endpoint{Label: label, Pos: n.Pos})
+			}
+			if drives {
+				sf.Drivers = append(sf.Drivers, Endpoint{Label: label, Pos: n.Pos})
+			}
+			continue
+		}
+		for _, name := range exprSignalNames(a.Actual) {
+			if ex.isSignal(name) {
+				sf := ex.unit.Signals[name]
+				sf.Readers = append(sf.Readers, Endpoint{Label: label, Pos: inst.Pos})
+			}
+		}
+	}
+	// Generic-map actuals are reads of any signals they mention (rare, but
+	// keeps "unused" honest).
+	for _, a := range inst.GenericMap {
+		for _, name := range exprSignalNames(a.Actual) {
+			if ex.isSignal(name) {
+				sf := ex.unit.Signals[name]
+				sf.Readers = append(sf.Readers, Endpoint{Label: label, Pos: inst.Pos})
+			}
+		}
+	}
+}
+
+// exprSignalNames lists identifiers in an expression (callers filter with
+// isSignal).
+func exprSignalNames(e vhdl.Expr) []string {
+	var out []string
+	var walk func(vhdl.Expr)
+	walk = func(e vhdl.Expr) {
+		switch e := e.(type) {
+		case nil:
+		case *vhdl.Name:
+			out = append(out, e.Ident)
+			for _, a := range e.Args {
+				walk(a)
+			}
+			walk(e.SliceLo)
+			walk(e.SliceHi)
+		case *vhdl.Unary:
+			walk(e.X)
+		case *vhdl.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *vhdl.Aggregate:
+			for _, el := range e.Elems {
+				walk(el)
+			}
+			walk(e.Others)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func typeName(tr *vhdl.TypeRef) string {
+	if tr == nil {
+		return ""
+	}
+	return tr.Name
+}
+
+// sortedKeys returns map keys ordered by source position (then name), so
+// rules iterate deterministically.
+func sortedByPos(m map[string]vhdl.Pos) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := m[keys[i]], m[keys[j]]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

@@ -1,0 +1,99 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
+)
+
+// The fixture harness adapts the govhdlvet "// want" idea to VHDL sources:
+// a fixture line carrying
+//
+//	-- want V001@17 "regexp"
+//
+// expects exactly one diagnostic of that rule on that line at that column,
+// with a message matching the regexp. The column is optional (-- want V001
+// "re" checks rule+line+message only). Multiple wants may share a line.
+// Diagnostics without a matching want, and wants without a matching
+// diagnostic, both fail the fixture — so clean fixtures are simply files
+// with no want comments.
+//
+// The lexer strips "--" comments before parsing, so expectations ride in
+// the source without disturbing it; the harness scans the raw text.
+var wantRE = regexp.MustCompile(`--\s*want\s+(V\d+)(?:@(\d+))?\s+"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	rule string
+	line int
+	col  int // 0 = unchecked
+	re   *regexp.Regexp
+	hit  bool
+}
+
+func parseWants(t *testing.T, path, src string) []*want {
+	t.Helper()
+	var wants []*want
+	for i, ln := range strings.Split(src, "\n") {
+		for _, m := range wantRE.FindAllStringSubmatch(ln, -1) {
+			col := 0
+			if m[2] != "" {
+				fmt.Sscanf(m[2], "%d", &col)
+			}
+			re, err := regexp.Compile(m[3])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp %q: %v", path, i+1, m[3], err)
+			}
+			wants = append(wants, &want{rule: m[1], line: i + 1, col: col, re: re})
+		}
+	}
+	return wants
+}
+
+// checkFixture lints one fixture file and matches diagnostics against its
+// want expectations.
+func checkFixture(t *testing.T, path string) []lint.Diagnostic {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := vhdl.Parse(path, string(src))
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	diags := lint.Analyze(df)
+	wants := parseWants(t, path, string(src))
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.rule != d.Rule || w.line != d.Pos.Line {
+				continue
+			}
+			if w.col != 0 && w.col != d.Pos.Col {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				continue
+			}
+			w.hit = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", path, d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: missing diagnostic %s (col %d, message ~ %s)",
+				path, w.line, w.rule, w.col, w.re)
+		}
+	}
+	return diags
+}

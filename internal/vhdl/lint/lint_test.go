@@ -1,0 +1,151 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"govhdl/internal/vhdl"
+	"govhdl/internal/vhdl/lint"
+)
+
+// TestFixtures runs every testdata fixture through the want-harness. Fixtures
+// named bad_*.vhd carry want expectations; clean_*.vhd must produce no
+// findings at all.
+func TestFixtures(t *testing.T) {
+	paths, err := filepath.Glob("testdata/*.vhd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no fixtures found in testdata/")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			diags := checkFixture(t, path)
+			if strings.HasPrefix(filepath.Base(path), "clean_") && len(diags) != 0 {
+				t.Errorf("clean fixture produced %d diagnostics", len(diags))
+			}
+		})
+	}
+}
+
+// TestRuleCoverage asserts every registered rule has a positive fixture (a
+// want naming its ID) and that each bad fixture has a clean counterpart.
+func TestRuleCoverage(t *testing.T) {
+	paths, err := filepath.Glob("testdata/bad_*.vhd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parseWants(t, path, string(src)) {
+			covered[w.rule] = true
+		}
+		clean := filepath.Join("testdata", "clean_"+strings.TrimPrefix(filepath.Base(path), "bad_"))
+		if _, err := os.Stat(clean); err != nil {
+			t.Errorf("%s has no clean counterpart %s", path, clean)
+		}
+	}
+	for _, r := range lint.Rules() {
+		if !covered[r.ID] {
+			t.Errorf("rule %s (%s) has no positive fixture", r.ID, r.Name)
+		}
+	}
+}
+
+// TestRepoDesignsClean lints every shipped design: the repo's own VHDL must
+// pass its own vet.
+func TestRepoDesignsClean(t *testing.T) {
+	var paths []string
+	for _, pat := range []string{"../../../testdata/*.vhd", "../../../examples/vhdl/*.vhd"} {
+		got, err := filepath.Glob(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, got...)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no shipped designs found")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			df, err := vhdl.Parse(path, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			for _, d := range lint.Analyze(df) {
+				t.Errorf("shipped design has finding: %s", d)
+			}
+		})
+	}
+}
+
+// TestJSONStability pins the wire shape and checks WriteJSON is deterministic
+// byte-for-byte — the property the CLI/server byte-identical guarantee rests
+// on — and that Diagnostic round-trips through its JSON form.
+func TestJSONStability(t *testing.T) {
+	src, err := os.ReadFile("testdata/bad_unused.vhd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := vhdl.Parse("testdata/bad_unused.vhd", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := lint.Analyze(df)
+	if len(diags) == 0 {
+		t.Fatal("expected findings")
+	}
+
+	var a, b bytes.Buffer
+	if err := lint.WriteJSON(&a, diags); err != nil {
+		t.Fatal(err)
+	}
+	if err := lint.WriteJSON(&b, lint.Analyze(df)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("WriteJSON not deterministic:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+
+	var rep lint.Report
+	if err := rep.Decode(a.Bytes()); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rep.Diagnostics) != len(diags) {
+		t.Fatalf("round-trip lost diagnostics: %d != %d", len(rep.Diagnostics), len(diags))
+	}
+	for i := range diags {
+		if rep.Diagnostics[i] != diags[i] {
+			t.Errorf("diag %d changed in round-trip:\n  %+v\n  %+v", i, rep.Diagnostics[i], diags[i])
+		}
+	}
+	if rep.Errors+rep.Warnings != len(diags) {
+		t.Errorf("counts %d+%d != %d", rep.Errors, rep.Warnings, len(diags))
+	}
+}
+
+// TestEmptyJSON pins the empty report shape: diagnostics must be [], not null.
+func TestEmptyJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "{\n  \"diagnostics\": [],\n  \"errors\": 0,\n  \"warnings\": 0\n}\n"
+	if buf.String() != want {
+		t.Errorf("empty report:\n%q\nwant\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"govhdl/internal/vhdl"
+)
+
+func init() {
+	Register(ruleMultipleDrivers)
+	Register(ruleMissingSensitivity)
+	Register(ruleUnusedSignal)
+	Register(ruleUndriven)
+	Register(ruleUnread)
+	Register(ruleNoWaitProcess)
+	Register(ruleCombLoop)
+}
+
+// sortEndpoints orders endpoints by first-touch position (deterministic
+// driver numbering for messages).
+func sortEndpoints(eps []Endpoint) []Endpoint {
+	out := append([]Endpoint(nil), eps...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+func endpointLabels(eps []Endpoint) string {
+	names := make([]string, len(eps))
+	for i, e := range eps {
+		names[i] = e.Label
+	}
+	return strings.Join(names, ", ")
+}
+
+// V001: a signal without a resolution function must have at most one
+// driver — two drivers on an unresolved signal have no defined combined
+// value, and elaboration rejects the design before any event runs.
+var ruleMultipleDrivers = &Rule{
+	ID: "V001", Name: "multiple-drivers", Severity: SevError,
+	Doc: "multiple drivers on a signal whose type has no resolution function",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, name := range u.SigOrder {
+				sf := u.Signals[name]
+				if sf.Resolved || len(sf.Drivers) < 2 {
+					continue
+				}
+				drivers := sortEndpoints(sf.Drivers)
+				for _, d := range drivers[1:] {
+					report(Diagnostic{
+						File: u.File, Pos: d.Pos,
+						Message: fmt.Sprintf(
+							"signal %q has %d drivers (%s) but type %q has no resolution function, so the design will not elaborate",
+							sf.Name, len(drivers), endpointLabels(drivers), sf.TypeName),
+						Suggestion: fmt.Sprintf(
+							"drive %q from a single process, or declare it std_logic/std_logic_vector so drivers resolve", sf.Name),
+					})
+				}
+			}
+		}
+	},
+}
+
+// V002: a combinational process must list every signal it reads in its
+// sensitivity list, or it recomputes with stale inputs. Edge-triggered
+// (clocked) processes are exempt: reading data signals under a clock edge
+// is the idiomatic register form. Wait-based processes have no sensitivity
+// list to check, and desugared concurrent assignments compute theirs.
+var ruleMissingSensitivity = &Rule{
+	ID: "V002", Name: "missing-sensitivity", Severity: SevWarning,
+	Doc: "signal read in a combinational process but missing from its sensitivity list",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, p := range u.Procs {
+				if p.Kind != ProcExplicit || p.Sensitivity == nil || p.EdgeDetect {
+					continue
+				}
+				for _, name := range sortedByPos(p.Reads) {
+					if p.SensSet[name] {
+						continue
+					}
+					report(Diagnostic{
+						File: u.File, Pos: p.Reads[name],
+						Message: fmt.Sprintf(
+							"%s reads %q, which is not in its sensitivity list (%s); the process will not re-run when %q changes",
+							p.Desc(), name, strings.Join(p.Sensitivity, ", "), name),
+						Suggestion: fmt.Sprintf("add %q to the sensitivity list", name),
+					})
+				}
+			}
+		}
+	},
+}
+
+// V003: a signal nobody reads or drives is dead weight (and usually a
+// refactoring leftover or a typo'd name).
+var ruleUnusedSignal = &Rule{
+	ID: "V003", Name: "unused-signal", Severity: SevWarning,
+	Doc: "signal declared but never read or driven",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, name := range u.SigOrder {
+				sf := u.Signals[name]
+				if sf.IsPort || len(sf.Drivers) > 0 || len(sf.Readers) > 0 {
+					continue
+				}
+				report(Diagnostic{
+					File: u.File, Pos: sf.Pos,
+					Message:    fmt.Sprintf("signal %q is declared but never read or driven", sf.Name),
+					Suggestion: fmt.Sprintf("remove the declaration of %q", sf.Name),
+				})
+			}
+		}
+	},
+}
+
+// V004: a signal that is read but never driven stays at its initial value
+// forever; an output port never driven presents 'U' (or the default) to the
+// parent. Input and inout ports are legitimately driven from outside the
+// architecture and are skipped.
+var ruleUndriven = &Rule{
+	ID: "V004", Name: "undriven-signal", Severity: SevWarning,
+	Doc: "signal read (or output port exposed) but never driven",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, name := range u.SigOrder {
+				sf := u.Signals[name]
+				if len(sf.Drivers) > 0 {
+					continue
+				}
+				switch {
+				case sf.IsPort && sf.Mode == vhdl.ModeOut:
+					report(Diagnostic{
+						File: u.File, Pos: sf.Pos,
+						Message:    fmt.Sprintf("output port %q is never driven; the parent sees only its initial value", sf.Name),
+						Suggestion: fmt.Sprintf("drive %q from a process or concurrent assignment", sf.Name),
+					})
+				case !sf.IsPort && len(sf.Readers) > 0:
+					report(Diagnostic{
+						File: u.File, Pos: sf.Pos,
+						Message:    fmt.Sprintf("signal %q is read but never driven; it keeps its initial value forever", sf.Name),
+						Suggestion: fmt.Sprintf("drive %q from a process, or replace the reads with a constant", sf.Name),
+					})
+				}
+			}
+		}
+	},
+}
+
+// V005: a signal that is driven but never read does work nobody observes;
+// an input port never read suggests the architecture ignores part of its
+// contract.
+var ruleUnread = &Rule{
+	ID: "V005", Name: "unread-signal", Severity: SevWarning,
+	Doc: "signal driven (or input port declared) but never read",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, name := range u.SigOrder {
+				sf := u.Signals[name]
+				if len(sf.Readers) > 0 {
+					continue
+				}
+				switch {
+				case sf.IsPort && sf.Mode == vhdl.ModeIn:
+					report(Diagnostic{
+						File: u.File, Pos: sf.Pos,
+						Message:    fmt.Sprintf("input port %q is never read", sf.Name),
+						Suggestion: fmt.Sprintf("use %q in the architecture, or drop the port", sf.Name),
+					})
+				case !sf.IsPort && len(sf.Drivers) > 0:
+					report(Diagnostic{
+						File: u.File, Pos: sf.Pos,
+						Message:    fmt.Sprintf("signal %q is driven but never read", sf.Name),
+						Suggestion: fmt.Sprintf("use the value of %q, or delete the signal and its drivers", sf.Name),
+					})
+				}
+			}
+		}
+	},
+}
+
+// V006: a process with no sensitivity list and no wait statement can never
+// suspend: the first activation spins forever inside one delta cycle and
+// simulation time never advances (the interpreter kills it after its step
+// budget, but only after burning it).
+var ruleNoWaitProcess = &Rule{
+	ID: "V006", Name: "no-wait-process", Severity: SevError,
+	Doc: "process with neither a sensitivity list nor a wait statement (delta-cycle livelock)",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			for _, p := range u.Procs {
+				if p.Kind != ProcExplicit || p.Sensitivity != nil || p.HasWait {
+					continue
+				}
+				report(Diagnostic{
+					File: u.File, Pos: p.Pos,
+					Message: fmt.Sprintf(
+						"%s has no sensitivity list and no wait statement: it can never suspend, so simulation livelocks in a delta cycle", p.Desc()),
+					Suggestion: "add a sensitivity list or a wait statement (e.g. \"wait;\" after one-shot stimulus)",
+				})
+			}
+		}
+	},
+}
+
+// V007: zero-delay combinational dependencies that form a cycle re-trigger
+// each other every delta cycle and never settle, so simulation time cannot
+// advance. Edges come from combinational processes (sensitivity-listed,
+// no edge detection) and concurrent assignments; an assignment with an
+// explicit "after" delay advances time and breaks the cycle, as does a
+// clocked process (time only passes at clock edges).
+var ruleCombLoop = &Rule{
+	ID: "V007", Name: "comb-loop", Severity: SevError,
+	Doc: "zero-delay combinational loop in the driver->reader graph",
+	Run: func(f *Facts, report func(Diagnostic)) {
+		for _, u := range f.Units {
+			reportCombLoops(u, report)
+		}
+	},
+}
+
+// combEdge is one zero-delay trigger->target dependency.
+type combEdge struct {
+	from, to string
+	pos      vhdl.Pos // position of the write creating the edge
+}
+
+func reportCombLoops(u *Unit, report func(Diagnostic)) {
+	// Build the delta-delay dependency graph: an edge s -> t means "a
+	// change of s re-runs a combinational process that assigns t in the
+	// same delta cycle".
+	adj := map[string][]combEdge{}
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for _, p := range u.Procs {
+		if p.EdgeDetect || p.HasWait {
+			continue
+		}
+		// Triggers: the sensitivity list for explicit processes, the read
+		// set for desugared concurrent assignments (their implicit list).
+		var triggers []string
+		if p.Kind == ProcExplicit {
+			if p.Sensitivity == nil {
+				continue
+			}
+			for _, s := range p.Sensitivity {
+				if _, ok := u.Signals[s]; ok {
+					triggers = append(triggers, s)
+				}
+			}
+		} else {
+			triggers = sortedByPos(p.Reads)
+		}
+		for _, w := range sortedByPos(p.Writes) {
+			if !p.DeltaWrites[w] {
+				continue // every assignment to w is time-delayed
+			}
+			for _, t := range triggers {
+				addNode(t)
+				addNode(w)
+				adj[t] = append(adj[t], combEdge{from: t, to: w, pos: p.Writes[w]})
+			}
+		}
+	}
+
+	// Tarjan SCC over the (deterministic) node list: every SCC with more
+	// than one node — or a self-edge — is a delta loop.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strongConnect func(v string)
+	strongConnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.to
+			if _, visited := index[w]; !visited {
+				strongConnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strongConnect(n)
+		}
+	}
+
+	for _, scc := range sccs {
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Collect the edges internal to this SCC; a single node only loops
+		// if it has a self-edge.
+		var internal []combEdge
+		for _, n := range scc {
+			for _, e := range adj[n] {
+				if inSCC[e.to] && (len(scc) > 1 || e.to == e.from) {
+					internal = append(internal, e)
+				}
+			}
+		}
+		if len(internal) == 0 {
+			continue
+		}
+		// Anchor the diagnostic on the first (by position) looping write.
+		sort.Slice(internal, func(i, j int) bool {
+			a, b := internal[i], internal[j]
+			if a.pos.Line != b.pos.Line {
+				return a.pos.Line < b.pos.Line
+			}
+			if a.pos.Col != b.pos.Col {
+				return a.pos.Col < b.pos.Col
+			}
+			return a.to < b.to
+		})
+		names := append([]string(nil), scc...)
+		sort.Strings(names)
+		report(Diagnostic{
+			File: u.File, Pos: internal[0].pos,
+			Message: fmt.Sprintf(
+				"zero-delay combinational loop through %s: each delta cycle re-triggers the next, so simulation time never advances",
+				quoteList(names)),
+			Suggestion: "break the loop with a clocked process or an explicit \"after\" delay",
+		})
+	}
+}
+
+func quoteList(names []string) string {
+	q := make([]string, len(names))
+	for i, n := range names {
+		q[i] = fmt.Sprintf("%q", n)
+	}
+	return strings.Join(q, ", ")
+}

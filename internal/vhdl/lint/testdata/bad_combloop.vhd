@@ -1,0 +1,18 @@
+entity loopy is
+end entity;
+
+architecture rtl of loopy is
+  signal a, b, ring : bit := '0';
+begin
+  pa : process (b)
+  begin
+    a <= not b; -- want V007@5 "zero-delay combinational loop through \"a\", \"b\""
+  end process;
+
+  pb : process (a)
+  begin
+    b <= not a;
+  end process;
+
+  osc : ring <= not ring; -- want V007@9 "zero-delay combinational loop through \"ring\""
+end architecture;

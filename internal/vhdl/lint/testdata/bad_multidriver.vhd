@@ -1,0 +1,23 @@
+entity md is
+end entity;
+
+architecture sim of md is
+  signal s : integer := 0;
+begin
+  p1 : process
+  begin
+    s <= 1 after 10 ns;
+    wait;
+  end process;
+
+  p2 : process
+  begin
+    s <= 2 after 20 ns; -- want V001@5 "signal \"s\" has 2 drivers"
+    wait;
+  end process;
+
+  watch : process (s)
+  begin
+    report "s changed";
+  end process;
+end architecture;

@@ -1,0 +1,11 @@
+entity nw is
+end entity;
+
+architecture sim of nw is
+  signal s : bit := '0';
+begin
+  spin : process -- want V006@10 "can never suspend"
+  begin
+    s <= not s;
+  end process;
+end architecture;

@@ -1,0 +1,23 @@
+entity sens is
+end entity;
+
+architecture rtl of sens is
+  signal a, b, y : integer := 0;
+begin
+  stim : process
+  begin
+    a <= 1;
+    b <= 2;
+    wait;
+  end process;
+
+  adder : process (a)
+  begin
+    y <= a + b; -- want V002@14 "reads \"b\", which is not in its sensitivity list"
+  end process;
+
+  watch : process (y)
+  begin
+    report "y changed";
+  end process;
+end architecture;

@@ -1,0 +1,17 @@
+entity deadport is
+  port (d_in  : in bit; -- want V005@9 "input port \"d_in\" is never read"
+        d_out : out bit); -- want V004@9 "output port \"d_out\" is never driven"
+end entity;
+
+architecture rtl of deadport is
+  signal ghost : bit; -- want V003@3 "never read or driven"
+  signal stale : bit; -- want V004@3 "read but never driven"
+  signal noisy : bit; -- want V005@3 "driven but never read"
+begin
+  use_stale : process (stale)
+  begin
+    report "stale changed";
+  end process;
+
+  drive_noisy : noisy <= '1';
+end architecture;

@@ -1,0 +1,36 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity loopless is
+end entity;
+
+architecture rtl of loopless is
+  signal clk : std_logic := '0';
+  signal a, b, ring : std_logic := '0';
+begin
+  clkgen : process
+  begin
+    clk <= '1' after 5 ns;
+    clk <= '0' after 10 ns;
+    wait for 20 ns;
+  end process;
+
+  pa : process (b)
+  begin
+    a <= not b;
+  end process;
+
+  reg : process (clk)
+  begin
+    if rising_edge(clk) then
+      b <= a;
+    end if;
+  end process;
+
+  osc : ring <= not ring after 1 ns;
+
+  watch : process (ring)
+  begin
+    report "ring changed";
+  end process;
+end architecture;

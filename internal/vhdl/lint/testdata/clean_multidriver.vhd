@@ -1,0 +1,26 @@
+library ieee;
+use ieee.std_logic_1164.all;
+
+entity mdc is
+end entity;
+
+architecture sim of mdc is
+  signal s : std_logic := 'Z';
+begin
+  p1 : process
+  begin
+    s <= '1' after 10 ns;
+    wait;
+  end process;
+
+  p2 : process
+  begin
+    s <= 'Z' after 20 ns;
+    wait;
+  end process;
+
+  watch : process (s)
+  begin
+    report "s changed";
+  end process;
+end architecture;

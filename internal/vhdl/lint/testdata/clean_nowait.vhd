@@ -1,0 +1,17 @@
+entity nwc is
+end entity;
+
+architecture sim of nwc is
+  signal s : bit := '0';
+begin
+  stim : process
+  begin
+    s <= '1' after 5 ns;
+    wait;
+  end process;
+
+  watch : process (s)
+  begin
+    report "s changed";
+  end process;
+end architecture;

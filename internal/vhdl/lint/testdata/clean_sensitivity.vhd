@@ -1,0 +1,23 @@
+entity sensc is
+end entity;
+
+architecture rtl of sensc is
+  signal a, b, y : integer := 0;
+begin
+  stim : process
+  begin
+    a <= 1;
+    b <= 2;
+    wait;
+  end process;
+
+  adder : process (a, b)
+  begin
+    y <= a + b;
+  end process;
+
+  watch : process (y)
+  begin
+    report "y changed";
+  end process;
+end architecture;

@@ -1,0 +1,11 @@
+entity livewire is
+  port (d_in  : in bit;
+        d_out : out bit);
+end entity;
+
+architecture rtl of livewire is
+  signal mid : bit;
+begin
+  stage1 : mid <= d_in;
+  stage2 : d_out <= mid after 1 ns;
+end architecture;

@@ -23,12 +23,14 @@ func Parse(file, src string) (*DesignFile, error) {
 			if err != nil {
 				return nil, err
 			}
+			e.File = file
 			df.Entities = append(df.Entities, e)
 		case p.isKw("architecture"):
 			a, err := p.parseArch()
 			if err != nil {
 				return nil, err
 			}
+			a.File = file
 			df.Archs = append(df.Archs, a)
 		default:
 			return nil, p.errorf("expected a design unit (entity or architecture), found %v", p.cur())
@@ -38,10 +40,26 @@ func Parse(file, src string) (*DesignFile, error) {
 }
 
 type parser struct {
-	file string
-	toks []token
-	pos  int
+	file  string
+	toks  []token
+	pos   int
+	depth int // recursion depth (expressions + statement nesting)
 }
+
+// maxParseDepth bounds recursive-descent depth. Real designs nest a handful
+// of levels; the bound exists so adversarial input (deep parens, deep ifs)
+// returns a parse error instead of overflowing the goroutine stack.
+const maxParseDepth = 200
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errorf("nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() token  { return p.toks[p.pos] }
 func (p *parser) atEOF() bool { return p.cur().Kind == tokEOF }

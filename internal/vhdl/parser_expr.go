@@ -12,6 +12,13 @@ import "strconv"
 //	factor     := primary [** primary] | abs primary | not primary
 //	primary    := name | literal | aggregate | ( expr )
 func (p *parser) parseExpr() (Expr, error) {
+	// Expressions recurse through parsePrimary's parenthesized form; bound
+	// the depth so hostile input fails with an error instead of overflowing
+	// the stack.
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseRelation()
 	if err != nil {
 		return nil, err

@@ -382,6 +382,12 @@ func (p *parser) parseGenerate(label string) (*GenerateStmt, error) {
 
 // parseStmts parses statements until end/elsif/else/when.
 func (p *parser) parseStmts() ([]Stmt, error) {
+	// Statement bodies recurse through if/loop/case arms; bounded like
+	// expressions (see maxParseDepth).
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	var out []Stmt
 	for {
 		if p.isKw("end") || p.isKw("elsif") || p.isKw("else") || p.isKw("when") {
