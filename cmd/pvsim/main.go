@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -110,6 +112,8 @@ func main() {
 
 	flag.BoolVar(&o.Failover, "failover", false, "on a transport failure, automatically absorb the dead node's LPs and resume from the latest checkpoint (controller process only; needs checkpointing)")
 	flag.IntVar(&o.maxFailovers, "max-failovers", supervise.DefaultMaxFailovers, "give up after this many automatic failovers")
+	flag.StringVar(&o.MigratePolicy, "migrate-policy", "", "live LP migration at GVT rounds: off, on-death (recovery migrates the dead node's LPs onto the survivors) or balance (sustained load imbalance triggers rebalancing moves)")
+	flag.IntVar(&o.MinNodes, "min-nodes", 0, "with -migrate-policy=on-death: migrate only while at least this many cluster nodes survive; below it recovery falls back to a full local absorb")
 	flag.DurationVar(&o.StallTimeout, "stall-timeout", 0, "fail (or rescue, see -stall-policy) the run if committed GVT does not advance for this long; 0 disables the watchdog")
 	flag.StringVar(&o.StallPolicy, "stall-policy", "fail", "stall remedy: fail (dump diagnostics and exit nonzero) or force-opt (force the blocked conservative LP optimistic, then fail if still stuck)")
 	flag.Int64Var(&o.MemBudget, "mem-budget", 0, "bound tracked optimistic memory (events, snapshots, anti-message records) to this many bytes; 0 = unbounded")
@@ -355,6 +359,13 @@ func run(o runOpts) error {
 	if o.StallPolicy == "force-opt" {
 		cfg.StallPolicy = pdes.StallForceOpt
 	}
+	elastic := o.MigratePolicy == "on-death" || o.MigratePolicy == "balance"
+	if o.MigratePolicy == "balance" {
+		// Every distributed process needs the planner set (workers keep the
+		// commit/load accounting only when migration is configured); the
+		// controller is the one that actually emits plans.
+		cfg.Migrate = pdes.NewBalancePlanner(pdes.BalanceConfig{})
+	}
 	cfg.StallDump = func(r *pdes.StallReport) { fmt.Fprint(os.Stderr, r.String()) }
 	cfg.MemBudget = o.MemBudget
 
@@ -434,6 +445,22 @@ func run(o runOpts) error {
 			o.Shards, map[pdes.Partition]string{pdes.PartitionRoundRobin: "round-robin", pdes.PartitionBlock: "block", pdes.PartitionTopo: "topology-aware"}[shardPart])
 	}
 
+	// With an elastic migrate policy the transport maintains an epoch-numbered
+	// cluster view; the on-death recovery decision (migrate onto the survivors
+	// vs full absorb) reads the FIRST view that records a death, not the
+	// latest: once the run fails, teardown drops every remaining connection
+	// and the views that follow report those cascading disconnects, not the
+	// fault. The survivor count at the fault instant is the policy input.
+	var (
+		viewMu    sync.Mutex
+		deathView transport.View
+	)
+	firstDeathView := func() transport.View {
+		viewMu.Lock()
+		defer viewMu.Unlock()
+		return deathView
+	}
+
 	// Every attempt gets fresh model state and a fresh recorder: attempt 0
 	// is the primary (distributed or fault-injected) run, attempts >= 1 are
 	// failover recoveries that absorb every LP into this process.
@@ -476,9 +503,49 @@ func run(o runOpts) error {
 			}
 		}
 		if attempt > 0 {
-			// Absorb run: same workers, same partition, same config — only
-			// the fabric changes, so the restored replay and the resumed
-			// run commit exactly what the dead cluster would have.
+			// Recovery run: same partition, same config, local fabric. The
+			// worker count is NOT blindly inherited — the surviving host may
+			// have fewer cores than the dead cluster had workers, so the
+			// shape is clamped to GOMAXPROCS and, under -migrate-policy=
+			// on-death, to the survivors of the first recorded death. The
+			// checkpoint is remapped to the new shape; either way the
+			// committed trace is the one the dead cluster would have emitted.
+			avail := runtime.GOMAXPROCS(0)
+			if o.MigratePolicy == "on-death" {
+				v := firstDeathView()
+				survivors, hostedW := 0, 0
+				for _, m := range v.Members {
+					if !m.Alive {
+						continue
+					}
+					survivors++
+					for _, ep := range m.Hosted {
+						if ep != 0 {
+							hostedW++
+						}
+					}
+				}
+				if w, migrate := supervise.SurvivorWorkers(acfg.Workers, hostedW, survivors, o.MinNodes); migrate {
+					if w < avail {
+						avail = w
+					}
+					fmt.Fprintf(os.Stderr, "pvsim: failover: migrating the dead node's LPs onto %d surviving workers (view epoch %d)\n",
+						w, v.Epoch)
+				} else {
+					fmt.Fprintf(os.Stderr, "pvsim: failover: too few survivors (view epoch %d); absorbing every LP locally\n", v.Epoch)
+				}
+			}
+			plan, perr := supervise.PlanRecovery(runSys, restore, acfg.Workers, avail, acfg.Partition)
+			if perr != nil {
+				return nil, perr
+			}
+			sup.RecordPlan(attempt, plan)
+			if plan.Clamped {
+				fmt.Fprintf(os.Stderr, "pvsim: failover: clamping %d workers to %d for the recovery run\n",
+					acfg.Workers, plan.Workers)
+			}
+			acfg.Workers = plan.Workers
+			acfg.Restore = plan.Restore
 			return pdes.RunOn(runSys, acfg, until, sink, pdes.NewLocalFabric(acfg.Workers+1))
 		}
 		switch {
@@ -488,6 +555,17 @@ func run(o runOpts) error {
 				return nil, fmt.Errorf("distributed mode needs -hosted (comma-separated endpoint ids)")
 			}
 			topts := []transport.Option{transport.WithHeartbeat(o.hbInterval, o.hbTimeout)}
+			if elastic {
+				topts = append(topts, transport.WithOnViewChange(func(v transport.View) {
+					viewMu.Lock()
+					if deathView.Epoch == 0 && v.AliveCount() < len(v.Members) {
+						deathView = v
+					}
+					viewMu.Unlock()
+					fmt.Fprintf(os.Stderr, "pvsim: cluster view epoch %d: %d/%d members alive\n",
+						v.Epoch, v.AliveCount(), len(v.Members))
+				}))
+			}
 			if o.FaultKillWrites > 0 {
 				plan := faultinject.Plan{Seed: o.faultSeed, KillAfterWrites: o.FaultKillWrites}
 				topts = append(topts, transport.WithConnWrapper(plan.Conn()))

@@ -37,6 +37,7 @@ import (
 	"govhdl/internal/netlist"
 	"govhdl/internal/pdes"
 	"govhdl/internal/trace"
+	"govhdl/internal/transport"
 	"govhdl/internal/vhdl"
 	"govhdl/internal/vtime"
 )
@@ -101,6 +102,12 @@ type Options struct {
 	// committed GVT stops advancing for this long fails with a diagnostic
 	// instead of hanging.
 	StallTimeout time.Duration
+	// Rebalance enables live LP migration between workers at GVT rounds:
+	// when one worker's committed-event load sustains above another's, the
+	// controller moves LPs at the next quiescent cut. Committed traces are
+	// unaffected (migration changes placement, never event order); the
+	// Result metrics count the moves. Needs Workers >= 2.
+	Rebalance bool
 }
 
 func (o Options) config() pdes.Config {
@@ -115,6 +122,17 @@ func (o Options) config() pdes.Config {
 	}
 	if o.UserConsistent {
 		cfg.Ordering = pdes.OrderUserConsistent
+	}
+	if o.Rebalance {
+		// Migration ships LP state as gob-encoded checkpoint blobs, so the
+		// payload types must be registered even for in-process runs.
+		transport.RegisterGob()
+		// In-process runs are short compared to cluster runs, so the policy
+		// thresholds are aggressive: any sustained >10% imbalance moves an LP,
+		// re-evaluated every round.
+		cfg.Migrate = pdes.NewBalancePlanner(pdes.BalanceConfig{
+			Ratio: 1.1, Cooldown: 1, MaxMoves: 2, MinEvents: 1,
+		})
 	}
 	return cfg
 }

@@ -46,6 +46,11 @@ type Plan struct {
 	// ReadDelayEvery sleeps ReadDelay before every Nth read. 0 disables.
 	ReadDelayEvery int
 	ReadDelay      time.Duration
+	// JoinDelay postpones the connection's very first write (the handshake
+	// hello) by this duration, simulating a node that joins the cluster late:
+	// a slow container start, a delayed dial, an operator adding capacity
+	// mid-run. The connection behaves normally afterwards. 0 disables.
+	JoinDelay time.Duration
 
 	// Fabric faults (WrapFabric).
 
@@ -65,6 +70,15 @@ type Plan struct {
 	// (never per-pair FIFO order, which the substrate guarantees).
 	SendDelayProb float64
 	MaxSendDelay  time.Duration
+	// PartitionAfterSends partitions endpoints PartitionA and PartitionB from
+	// each other: once either endpoint has made more than N sends, its sends
+	// to the other are silently dropped — both endpoints stay alive and every
+	// other route keeps flowing. This is the asymmetric network split that
+	// neither kills a process nor silences it entirely; only a stall watchdog
+	// or heartbeat can diagnose it. 0 disables.
+	PartitionAfterSends int
+	PartitionA          int
+	PartitionB          int
 }
 
 // Conn returns a connection wrapper for transport.WithConnWrapper that
@@ -98,10 +112,14 @@ func (f *faultConn) Write(p []byte) (int, error) {
 	}
 	mute := f.plan.MuteAfterWrites > 0 && w > f.plan.MuteAfterWrites
 	delay := f.plan.WriteDelayEvery > 0 && w%f.plan.WriteDelayEvery == 0
+	joinDelay := w == 1 && f.plan.JoinDelay > 0
 	f.mu.Unlock()
 
 	if dead {
 		return 0, errors.New("faultinject: connection already killed")
+	}
+	if joinDelay {
+		time.Sleep(f.plan.JoinDelay)
 	}
 	if kill {
 		if f.plan.TruncateOnKill && len(p) > 1 {
@@ -221,15 +239,33 @@ func (e *faultEndpoint) tick(n int) (drop bool) {
 	return false
 }
 
+// partitioned reports whether a send to dst falls into an active partition:
+// this endpoint and dst are the partitioned pair, and this endpoint's send
+// count has crossed the threshold. Callers invoke it after tick, so the
+// counter includes the current send.
+func (e *faultEndpoint) partitioned(dst int) bool {
+	if e.plan.PartitionAfterSends <= 0 {
+		return false
+	}
+	self := e.Self()
+	if !(self == e.plan.PartitionA && dst == e.plan.PartitionB) &&
+		!(self == e.plan.PartitionB && dst == e.plan.PartitionA) {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sends > e.plan.PartitionAfterSends
+}
+
 func (e *faultEndpoint) Send(dst int, m *pdes.Msg) {
-	if e.tick(1) {
+	if e.tick(1) || e.partitioned(dst) {
 		return
 	}
 	e.Endpoint.Send(dst, m)
 }
 
 func (e *faultEndpoint) SendBatch(dst int, ms []*pdes.Msg) {
-	if e.tick(len(ms)) {
+	if e.tick(len(ms)) || e.partitioned(dst) {
 		return
 	}
 	e.Endpoint.SendBatch(dst, ms)

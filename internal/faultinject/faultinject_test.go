@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"net"
 	"sort"
 	"strings"
 	"sync"
@@ -221,6 +222,97 @@ func TestInjectedDeathCheckpointRestore(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("record %d differs:\n  want: %s\n  got:  %s", i, want[i], got[i])
 		}
+	}
+}
+
+// TestPartitionAfterDropsPairTraffic: once the threshold passes, traffic
+// between the partitioned pair is dropped in both directions while every
+// other route keeps flowing and nobody dies.
+func TestPartitionAfterDropsPairTraffic(t *testing.T) {
+	recvOne := func(ep pdes.Endpoint) (*pdes.Msg, bool) {
+		deadline := time.Now().Add(200 * time.Millisecond)
+		for time.Now().Before(deadline) {
+			if m, ok := ep.TryRecv(); ok {
+				return m, true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil, false
+	}
+
+	plan := Plan{PartitionAfterSends: 2, PartitionA: 1, PartitionB: 2}
+	eps, inj := WrapFabric(pdes.NewLocalFabric(3), plan)
+	e1, e2 := eps[1], eps[2]
+
+	// Below the threshold the pair still talks.
+	e1.Send(2, &pdes.Msg{Round: 1})
+	e1.Send(2, &pdes.Msg{Round: 2})
+	for want := uint64(1); want <= 2; want++ {
+		m, ok := recvOne(e2)
+		if !ok || m.Round != want {
+			t.Fatalf("pre-partition message %d not delivered (got %+v, ok=%v)", want, m, ok)
+		}
+	}
+	// Past the threshold: pair traffic is dropped, both directions.
+	e1.Send(2, &pdes.Msg{Round: 3})
+	if m, ok := recvOne(e2); ok {
+		t.Fatalf("partitioned send delivered: %+v", m)
+	}
+	e2.Send(1, &pdes.Msg{Round: 4})
+	e2.Send(1, &pdes.Msg{Round: 5})
+	e2.Send(1, &pdes.Msg{Round: 6})
+	got := 0
+	for {
+		m, ok := recvOne(e1)
+		if !ok {
+			break
+		}
+		got++
+		if m.Round == 6 {
+			t.Fatalf("send past the reverse threshold delivered: %+v", m)
+		}
+	}
+	if got != 2 {
+		t.Fatalf("reverse direction delivered %d messages before partitioning, want 2", got)
+	}
+	// Other routes are unaffected, and nobody died.
+	e1.Send(0, &pdes.Msg{Round: 7})
+	if m, ok := recvOne(eps[0]); !ok || m.Round != 7 {
+		t.Fatalf("unrelated route broken: %+v, ok=%v", m, ok)
+	}
+	if inj.Err() != nil {
+		t.Fatalf("a partition must not kill the fabric: %v", inj.Err())
+	}
+}
+
+// TestJoinDelayPostponesFirstWrite: the delayed-join wire fault holds back
+// only the connection's first write (the handshake hello).
+func TestJoinDelayPostponesFirstWrite(t *testing.T) {
+	const delay = 50 * time.Millisecond
+	a, b := net.Pipe()
+	defer b.Close()
+	wrapped := Plan{JoinDelay: delay}.Conn()(a)
+
+	done := make(chan time.Duration, 2)
+	go func() {
+		start := time.Now()
+		wrapped.Write([]byte("hello"))
+		done <- time.Since(start)
+		start = time.Now()
+		wrapped.Write([]byte("again"))
+		done <- time.Since(start)
+	}()
+	buf := make([]byte, 16)
+	for i := 0; i < 2; i++ {
+		if _, err := b.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first := <-done; first < delay {
+		t.Fatalf("first write completed in %v, want >= %v", first, delay)
+	}
+	if second := <-done; second >= delay {
+		t.Fatalf("second write also delayed (%v); only the join must be", second)
 	}
 }
 

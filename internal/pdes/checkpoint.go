@@ -343,11 +343,7 @@ func (w *worker) ckptParticipate() (done bool) {
 		case msgCkptDone:
 			w.msgPool.put(m)
 			w.paused = false
-			for _, d := range w.deferred {
-				w.sentTo[d.dst]++
-				w.ep.Send(d.dst, d.m)
-			}
-			w.deferred = w.deferred[:0]
+			w.releaseDeferred()
 			return false
 		case msgStop:
 			w.err = m.Err

@@ -41,6 +41,12 @@ type controller struct {
 	expect  []uint64
 	msgs    msgPool
 	blocked []BlockedLP // blocked conservative LPs reported in this round's acks
+
+	// Migration (migrate.go, Config.Migrate runs only): the authoritative
+	// LP-to-worker ownership table and the per-LP executed-event counts
+	// accumulated from GVT acks since the last migration cut.
+	owner []int
+	loads []uint64
 }
 
 func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, metrics *stats.Metrics) *controller {
@@ -53,6 +59,9 @@ func newController(ep Endpoint, cfg *Config, horizon vtime.VT, modes []Mode, met
 		modes:   modes,
 		acks:    make([]*Msg, ep.N()),
 		expect:  make([]uint64, ep.N()),
+	}
+	if cfg.Migrate != nil {
+		c.loads = make([]uint64, len(modes))
 	}
 	if cfg.Restore != nil {
 		// GVT resumes from the restored cut; the monotonicity check holds
@@ -166,6 +175,9 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		a := acks[w]
 		// Copy blocked reports out of the ack before it is recycled.
 		c.blocked = append(c.blocked, a.Blocked...)
+		for _, l := range a.Loads {
+			c.loads[l.LP] += l.Execs
+		}
 		// Null messages count as progress: under user-consistent
 		// conservative ordering, channel-clock promises may need several
 		// propagation hops (and several rounds) before any event becomes
@@ -289,6 +301,15 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 			ckpt = true
 		}
 	}
+	// A round ends in at most one cut; migration yields to a due checkpoint
+	// and the planner simply sees the same state next round.
+	var moves []Move
+	if !isDone && !ckpt && c.cfg.Migrate != nil {
+		var ok bool
+		if moves, ok = c.planMoves(gvt); !ok {
+			return false, true
+		}
+	}
 
 	for w := 1; w <= c.workers; w++ {
 		// The ConsLPs/OptLPs backing arrays are shared across the broadcast;
@@ -303,6 +324,7 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 		m.Done = isDone
 		m.Ckpt = ckpt
 		m.NextGVT = c.interval
+		m.Moves = moves
 		c.ep.Send(w, m)
 	}
 	if isDone {
@@ -310,6 +332,9 @@ func (c *controller) round(stallCandidate bool) (done, stopped bool) {
 	}
 	if ckpt {
 		return false, c.checkpointRound(gvt)
+	}
+	if len(moves) > 0 {
+		return false, c.migrationRound(gvt, moves)
 	}
 	return isDone, false
 }

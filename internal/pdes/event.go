@@ -78,6 +78,12 @@ const (
 	msgCkptState                // worker -> controller: serialized worker state
 	msgCkptDone                 // controller -> worker: checkpoint persisted, resume
 	msgPoison                   // transport/injector -> anyone: the substrate is dead
+	msgMigAck                   // worker -> controller: committed at the migration cut, counts snapshot
+	msgMigDrain                 // controller -> worker: drain inbox to Expect total
+	msgMigState                 // worker -> controller: serialized moved-LP bundle (nil if none)
+	msgMigInstall               // controller -> worker: flip ownership, install incoming LPs
+	msgMigDone                  // worker -> controller: installed, still paused
+	msgMigResume                // controller -> worker: every worker installed, resume
 )
 
 // Msg is the unit carried by a Transport. Exactly one of the payload groups
@@ -118,6 +124,14 @@ type Msg struct {
 	// (pending events, none safe), for the controller's stall-rescue pick.
 	// Collected only when Config.StallPolicy is StallForceOpt.
 	Blocked []BlockedLP // msgGVTAck
+	// Loads reports per-LP executed-event counts for the controller's
+	// migration planner. Collected only when Config.Migrate is set.
+	Loads []LPLoad // msgGVTAck
+	// Moves announces a migration cut following this GVT round.
+	Moves []Move // msgGVTNew
+	// AllModes is the full per-LP mode table, carried on msgMigInstall so a
+	// receiver can build runtime state for LPs it has never owned.
+	AllModes []Mode // msgMigInstall
 }
 
 // PoisonMsg builds the message a failing message substrate injects into every

@@ -154,6 +154,15 @@ type worker struct {
 	logCommits bool
 	restore    *Checkpoint
 
+	// Migration (migrate.go, Config.Migrate runs only): migMoves holds the
+	// round's migration plan (copied out of msgGVTNew before the Msg is
+	// recycled), ackLoads is the reusable per-LP load report carried on GVT
+	// acks, and migRound is the round number of the last migration cut this
+	// worker applied — the anchor of the bounded forwarding window.
+	migMoves []Move
+	ackLoads []LPLoad
+	migRound uint64
+
 	// Supervision (watchdog.go): rs is the run-wide shared state, set by the
 	// runner before the worker starts (nil in isolated unit tests); memTrack
 	// enables Config.MemBudget accounting. diag is the snapshot this worker
@@ -213,7 +222,7 @@ func newWorker(ep Endpoint, sys *System, cfg *Config, horizon vtime.VT,
 	w.ctx = &Ctx{sys: sys, emit: w.emit, record: w.recordItem, charge: w.chargeEvents}
 	w.gvtEvery = cfg.GVTEvery
 	w.batchEp, _ = ep.(batchReceiver)
-	w.logCommits = cfg.CheckpointRounds > 0
+	w.logCommits = cfg.CheckpointRounds > 0 || cfg.Migrate != nil
 	w.restore = cfg.Restore
 	return w
 }
@@ -731,6 +740,16 @@ func (w *worker) routeEvent(e *Event) {
 	dbgID(w, "route", e, "")
 	lp := w.lps[e.Dst]
 	if lp == nil {
+		// Within the handoff window after a migration cut, chase a moved LP
+		// to its new owner instead of dying: a message can legitimately race
+		// the cut (e.g. sent by a worker that resumed an instant earlier).
+		if o := w.owner[e.Dst]; o != w.ep.Self() && w.migRound > 0 && w.roundNo-w.migRound <= migForwardWindow {
+			w.metrics.ForwardedMsgs.Add(1)
+			m := w.msgPool.get()
+			m.Kind, m.Ev = msgEvent, e
+			w.sendMsg(o, m)
+			return
+		}
 		w.fatal("event %v routed to worker %d which does not own LP %d", e, w.ep.Self(), e.Dst)
 	}
 	if e.Neg {
@@ -888,6 +907,13 @@ func (w *worker) sendNulls(lp *lpRT) {
 func (w *worker) routeNull(src, dst LPID, ts vtime.VT) {
 	lp := w.lps[dst]
 	if lp == nil {
+		if o := w.owner[dst]; o != w.ep.Self() && w.migRound > 0 && w.roundNo-w.migRound <= migForwardWindow {
+			w.metrics.ForwardedMsgs.Add(1)
+			m := w.msgPool.get()
+			m.Kind, m.Src, m.Dst, m.TS = msgNull, src, dst, ts
+			w.sendMsg(o, m)
+			return
+		}
 		w.fatal("null %d->%d routed to worker %d which does not own the destination", src, dst, w.ep.Self())
 	}
 	i, ok := lp.edgeOf[src]
@@ -924,6 +950,9 @@ func (w *worker) gvtParticipate() (done bool) {
 	ack.Nulls = w.nullsSent
 	if w.cfg.StallPolicy == StallForceOpt {
 		ack.Blocked = w.blockedLPs()
+	}
+	if w.cfg.Migrate != nil {
+		ack.Loads = w.buildLoads()
 	}
 	w.ep.Send(0, ack)
 	var expect uint64
@@ -962,10 +991,14 @@ func (w *worker) gvtParticipate() (done bool) {
 			w.msgPool.put(m)
 		case msgGVTNew:
 			ckpt := m.Ckpt
+			w.migMoves = append(w.migMoves[:0], m.Moves...)
 			done = w.applyGVTNew(m)
 			w.msgPool.put(m)
 			if ckpt && !done {
 				return w.ckptParticipate()
+			}
+			if len(w.migMoves) > 0 && !done {
+				return w.migParticipate()
 			}
 			return done
 		case msgStop:
@@ -1032,11 +1065,7 @@ func (w *worker) applyGVTNew(m *Msg) bool {
 	}
 
 	w.paused = false
-	for _, d := range w.deferred {
-		w.sentTo[d.dst]++
-		w.ep.Send(d.dst, d.m)
-	}
-	w.deferred = w.deferred[:0]
+	w.releaseDeferred()
 
 	// Update edge trust tables everywhere, then perform owned switches.
 	for _, id := range m.ConsLPs {

@@ -41,6 +41,16 @@ type Opts struct {
 	Restore    string
 	Failover   bool
 
+	// MigratePolicy selects live LP migration at GVT rounds: "" or "off"
+	// (none), "on-death" (a dead node's LPs migrate onto the survivors at
+	// failover, with a full absorb only when too few nodes remain), or
+	// "balance" (sustained load imbalance triggers rebalancing moves with a
+	// cooldown). MinNodes is the minimum surviving node count for an
+	// on-death distributed recovery; below it the run falls back to a full
+	// local absorb.
+	MigratePolicy string
+	MinNodes      int
+
 	StallTimeout time.Duration
 	StallPolicy  string
 	MemBudget    int64
@@ -80,6 +90,31 @@ func (o *Opts) Validate(proto pdes.Protocol) error {
 		if proto == pdes.ProtoSequential {
 			return fmt.Errorf("-failover needs a parallel protocol")
 		}
+	}
+	switch o.MigratePolicy {
+	case "", "off":
+		if o.MinNodes != 0 {
+			return fmt.Errorf("-min-nodes needs -migrate-policy=on-death: it bounds when a death falls back to a full absorb")
+		}
+	case "on-death", "balance":
+		if proto == pdes.ProtoSequential {
+			return fmt.Errorf("-migrate-policy needs a parallel protocol")
+		}
+		if o.Listen == "" && o.Connect == "" {
+			return fmt.Errorf("-migrate-policy=%s needs a distributed run (-listen or -connect): live LP migration moves state between cluster nodes", o.MigratePolicy)
+		}
+		if o.MigratePolicy == "on-death" {
+			if o.Connect == "" && !o.Failover {
+				return fmt.Errorf("-migrate-policy=on-death needs -failover on the controller process: the dead node's LPs migrate when recovery reruns from the latest cut")
+			}
+			if o.MinNodes < 0 {
+				return fmt.Errorf("-min-nodes must be >= 0")
+			}
+		} else if o.MinNodes != 0 {
+			return fmt.Errorf("-min-nodes needs -migrate-policy=on-death: it bounds when a death falls back to a full absorb")
+		}
+	default:
+		return fmt.Errorf("-migrate-policy must be off, on-death or balance, got %q", o.MigratePolicy)
 	}
 	switch o.StallPolicy {
 	case "", "fail", "force-opt":

@@ -169,6 +169,64 @@ func TestValidate(t *testing.T) {
 			o.Listen = ":0"
 			o.Endpoints = 4
 		}, pdes.ProtoDynamic, "-workers <= -shards"},
+		{"bad migrate policy", func(o *Opts) {
+			o.MigratePolicy = "chaos"
+		}, pdes.ProtoDynamic, "-migrate-policy must be"},
+		{"migrate policy off ok", func(o *Opts) {
+			o.MigratePolicy = "off"
+		}, pdes.ProtoDynamic, ""},
+		{"migrate without distributed run", func(o *Opts) {
+			o.MigratePolicy = "balance"
+		}, pdes.ProtoDynamic, "needs a distributed run"},
+		{"on-death without distributed run", func(o *Opts) {
+			o.MigratePolicy = "on-death"
+			o.Failover = true
+			o.CkptRounds = 1
+		}, pdes.ProtoDynamic, "needs a distributed run"},
+		{"migrate under seq", func(o *Opts) {
+			o.MigratePolicy = "balance"
+			o.Listen = ":0"
+			o.Endpoints = 3
+		}, pdes.ProtoSequential, "needs a parallel protocol"},
+		{"balance ok", func(o *Opts) {
+			o.MigratePolicy = "balance"
+			o.Listen = ":0"
+			o.Endpoints = 3
+		}, pdes.ProtoDynamic, ""},
+		{"balance on a connect worker ok", func(o *Opts) {
+			o.MigratePolicy = "balance"
+			o.Connect = "host:1"
+			o.Endpoints = 3
+		}, pdes.ProtoDynamic, ""},
+		{"on-death without failover", func(o *Opts) {
+			o.MigratePolicy = "on-death"
+			o.Listen = ":0"
+			o.Endpoints = 3
+		}, pdes.ProtoDynamic, "needs -failover"},
+		{"on-death ok", func(o *Opts) {
+			o.MigratePolicy = "on-death"
+			o.Listen = ":0"
+			o.Endpoints = 3
+			o.Failover = true
+			o.CkptRounds = 1
+		}, pdes.ProtoDynamic, ""},
+		{"on-death with min-nodes ok", func(o *Opts) {
+			o.MigratePolicy = "on-death"
+			o.Listen = ":0"
+			o.Endpoints = 4
+			o.Failover = true
+			o.CkptRounds = 1
+			o.MinNodes = 2
+		}, pdes.ProtoDynamic, ""},
+		{"min-nodes without migrate policy", func(o *Opts) {
+			o.MinNodes = 2
+		}, pdes.ProtoDynamic, "-min-nodes needs -migrate-policy"},
+		{"min-nodes with balance", func(o *Opts) {
+			o.MigratePolicy = "balance"
+			o.Listen = ":0"
+			o.Endpoints = 3
+			o.MinNodes = 2
+		}, pdes.ProtoDynamic, "-min-nodes needs -migrate-policy"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -95,6 +95,11 @@ type Server struct {
 	lintRuns     int // lint passes executed (submits with sources + /v1/lint calls)
 	lintFindings int // total diagnostics those passes produced
 
+	// Elasticity counters, aggregated from finished sessions' engine metrics.
+	migrations    uint64 // LPs moved between workers at migration cuts
+	viewChanges   uint64 // cluster/ownership view epochs those cuts published
+	forwardedMsgs uint64 // messages re-routed to an LP's new owner in handoff
+
 	wg sync.WaitGroup // running session goroutines
 }
 
@@ -166,6 +171,16 @@ type SessionRequest struct {
 	Deadline       string `json:"deadline,omitempty"`
 	NoTrace        bool   `json:"no_trace,omitempty"`
 
+	// Rebalance enables live LP migration between the session's workers at
+	// GVT rounds under sustained load imbalance (govhdl.Options.Rebalance).
+	Rebalance bool `json:"rebalance,omitempty"`
+	// MigratePolicy and MinNodes exist for validation parity with the pvsim
+	// CLI: cluster-level migration policies need a distributed run, which a
+	// server session never is, so any non-off value is rejected with the
+	// same message `pvsim -migrate-policy` would print (a 400 here).
+	MigratePolicy string `json:"migrate_policy,omitempty"`
+	MinNodes      int    `json:"min_nodes,omitempty"`
+
 	// Vet gates the submission on design lint: error findings reject it with
 	// 422 and the lint report as the body. VetStrict also rejects warnings.
 	// Findings are attached to the session status either way.
@@ -236,13 +251,15 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// The shared validator keeps a request and the equivalent pvsim
 	// invocation rejecting the same combinations with the same messages.
 	shared := runopts.Opts{
-		Circuit:      req.Circuit,
-		Workers:      req.Workers,
-		User:         req.UserConsistent,
-		StallTimeout: stallTimeout,
-		MemBudget:    req.MemBudget,
-		Vet:          req.Vet,
-		VetStrict:    req.VetStrict,
+		Circuit:       req.Circuit,
+		Workers:       req.Workers,
+		User:          req.UserConsistent,
+		StallTimeout:  stallTimeout,
+		MemBudget:     req.MemBudget,
+		MigratePolicy: req.MigratePolicy,
+		MinNodes:      req.MinNodes,
+		Vet:           req.Vet,
+		VetStrict:     req.VetStrict,
 	}
 	if err := shared.Validate(proto); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
@@ -270,6 +287,7 @@ func (sv *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		MemBudget:       req.MemBudget,
 		StallTimeout:    stallTimeout,
 		NoTrace:         req.NoTrace,
+		Rebalance:       req.Rebalance,
 	}
 	if req.Until != "" {
 		t, err := runopts.ParseTime(req.Until)
@@ -495,6 +513,11 @@ func (sv *Server) runSession(ss *session) {
 	state, _, _, _, _, _ := ss.snapshot()
 	sv.mu.Lock()
 	sv.active--
+	if res != nil && res.Run != nil {
+		sv.migrations += res.Run.Metrics.Migrations
+		sv.viewChanges += res.Run.Metrics.ViewChanges
+		sv.forwardedMsgs += res.Run.Metrics.ForwardedMsgs
+	}
 	switch state {
 	case StateDone:
 		sv.done++
@@ -626,6 +649,7 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	queued, active := sv.queued, sv.active
 	done, failed, canceled := sv.done, sv.failed, sv.canceled
 	lintRuns, lintFindings := sv.lintRuns, sv.lintFindings
+	migrations, viewChanges, forwarded := sv.migrations, sv.viewChanges, sv.forwardedMsgs
 	total := len(sv.order)
 	ids := append([]string(nil), sv.order...)
 	sessions := make([]*session, len(ids))
@@ -649,6 +673,9 @@ func (sv *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "sessions_total %d\n", total)
 	fmt.Fprintf(w, "lint_runs %d\n", lintRuns)
 	fmt.Fprintf(w, "lint_findings %d\n", lintFindings)
+	fmt.Fprintf(w, "migrations_total %d\n", migrations)
+	fmt.Fprintf(w, "view_changes_total %d\n", viewChanges)
+	fmt.Fprintf(w, "forwarded_msgs_total %d\n", forwarded)
 
 	for _, ss := range sessions {
 		rep := replyFor(ss)

@@ -404,6 +404,12 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		{"too many workers", SessionRequest{Circuit: "fsm", Workers: 99}, "workers must be <="},
 		{"negative mem budget", SessionRequest{Circuit: "fsm", MemBudget: -1}, "-mem-budget"},
 		{"huge deadline", SessionRequest{Circuit: "fsm", Deadline: "24h"}, "deadline must be <="},
+		// CLI/HTTP parity: cluster-level migration policies need a distributed
+		// run, which a server session never is. Same messages as pvsim.
+		{"bad migrate policy", SessionRequest{Circuit: "fsm", MigratePolicy: "chaos"}, "-migrate-policy must be"},
+		{"migrate policy in-process", SessionRequest{Circuit: "fsm", MigratePolicy: "balance"}, "needs a distributed run"},
+		{"on-death in-process", SessionRequest{Circuit: "fsm", MigratePolicy: "on-death"}, "needs a distributed run"},
+		{"min-nodes without policy", SessionRequest{Circuit: "fsm", MinNodes: 2}, "-min-nodes needs -migrate-policy"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -430,6 +436,33 @@ func TestServerRejectsBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown session: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerElasticRebalance: a session submitted with rebalance=true
+// migrates LPs between its workers at GVT rounds without restarting, the
+// committed trace stays byte-identical to the sequential run, and /metrics
+// exposes the elasticity counters.
+func TestServerElasticRebalance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := counterRequest()
+	req.Rebalance = true
+	rep := submit(t, ts, req)
+	got := streamTrace(t, ts, rep.ID)
+	if fin := waitFinished(t, ts, rep.ID); fin.State != StateDone {
+		t.Fatalf("session: %s (%s)", fin.State, fin.Error)
+	}
+	if want := soloCounterTrace(t); got != want {
+		t.Fatal("rebalancing session trace differs from the sequential run")
+	}
+	if n := metricValue(t, ts, "migrations_total"); n == 0 {
+		t.Fatal("migrations_total = 0: the rebalance policy never moved an LP")
+	}
+	if n := metricValue(t, ts, "view_changes_total"); n == 0 {
+		t.Fatal("view_changes_total = 0: migration cuts must publish new views")
+	}
+	if n := metricValue(t, ts, "forwarded_msgs_total"); n == 0 {
+		t.Fatal("forwarded_msgs_total = 0: handoffs must account forwarded traffic")
 	}
 }
 

@@ -77,9 +77,12 @@ type Metrics struct {
 	Fossils      atomic.Uint64 // history records reclaimed
 	Blocked      atomic.Uint64 // times a conservative LP had events but none safe
 	OrphanAntis  atomic.Uint64 // anti-messages never matched by a positive (bug indicator)
-	MemThrottled atomic.Uint64 // scheduling decisions withheld by the memory budget
-	Cancelbacks  atomic.Uint64 // budget-driven rollbacks of furthest-ahead LPs
-	StallRescues atomic.Uint64 // blocked conservative LPs forced optimistic by stall rescue
+	MemThrottled  atomic.Uint64 // scheduling decisions withheld by the memory budget
+	Cancelbacks   atomic.Uint64 // budget-driven rollbacks of furthest-ahead LPs
+	StallRescues  atomic.Uint64 // blocked conservative LPs forced optimistic by stall rescue
+	Migrations    atomic.Uint64 // LPs moved between workers at migration cuts
+	ViewChanges   atomic.Uint64 // cluster view epochs observed (membership churn + migration cuts)
+	ForwardedMsgs atomic.Uint64 // messages re-routed to an LP's new owner during handoff
 }
 
 // Snapshot is a plain-value copy of Metrics for reporting.
@@ -90,6 +93,7 @@ type Snapshot struct {
 	GVTRounds, ModeSwitches                     uint64
 	StateSaves, Fossils, Blocked, OrphanAntis   uint64
 	MemThrottled, Cancelbacks, StallRescues     uint64
+	Migrations, ViewChanges, ForwardedMsgs      uint64
 }
 
 // Snapshot copies the counters.
@@ -110,9 +114,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		Fossils:      m.Fossils.Load(),
 		Blocked:      m.Blocked.Load(),
 		OrphanAntis:  m.OrphanAntis.Load(),
-		MemThrottled: m.MemThrottled.Load(),
-		Cancelbacks:  m.Cancelbacks.Load(),
-		StallRescues: m.StallRescues.Load(),
+		MemThrottled:  m.MemThrottled.Load(),
+		Cancelbacks:   m.Cancelbacks.Load(),
+		StallRescues:  m.StallRescues.Load(),
+		Migrations:    m.Migrations.Load(),
+		ViewChanges:   m.ViewChanges.Load(),
+		ForwardedMsgs: m.ForwardedMsgs.Load(),
 	}
 }
 
@@ -136,6 +143,9 @@ func (s Snapshot) String() string {
 	}
 	if s.StallRescues != 0 {
 		out += fmt.Sprintf(" stallrescues=%d", s.StallRescues)
+	}
+	if s.Migrations != 0 || s.ForwardedMsgs != 0 {
+		out += fmt.Sprintf(" migrations=%d viewchanges=%d forwarded=%d", s.Migrations, s.ViewChanges, s.ForwardedMsgs)
 	}
 	return out
 }

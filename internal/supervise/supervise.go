@@ -10,11 +10,19 @@
 // The division of labor: package pdes knows how to cut and restore a
 // consistent state, package transport knows how to fail fast and
 // diagnose, and this package knows which failures are worth retrying and
-// what state to retry from. The absorb run keeps the same Config.Workers
+// what state to retry from.
+//
+// Recovery shape. By default an absorb run keeps the same Config.Workers
 // (the paper's LP-to-processor mapping is a partition over a fixed worker
 // count, and the restored mode/ownership tables are indexed by it); the
 // survivors simply host all workers in one process over the in-process
-// fabric.
+// fabric. But rerunning a 16-worker cut on a 4-core survivor just thrashes:
+// PlanRecovery clamps the worker count to what the surviving host can
+// actually execute and migrates the checkpoint to the new grouping with
+// pdes.RemapCheckpoint — the dead nodes' LPs land on the survivors' workers
+// instead of being absorbed at the original shape. Every attempt's shape
+// (worker count, whether it was clamped, whether LPs migrated) is recorded
+// in the supervisor's attempt log.
 package supervise
 
 import (
@@ -48,6 +56,119 @@ type Supervisor struct {
 
 	mu     sync.Mutex
 	latest *pdes.Checkpoint
+	log    []Attempt
+}
+
+// Attempt is one entry in the supervisor's attempt log: the shape an attempt
+// ran with and how it ended.
+type Attempt struct {
+	N        int    // attempt number (0 = primary)
+	Workers  int    // worker count the attempt ran with (0 if never planned)
+	Clamped  bool   // worker count was reduced to fit the surviving host
+	Migrated bool   // LPs migrated to a new worker grouping for this attempt
+	Err      string // how the attempt ended; "" while running or on success
+}
+
+// RecoveryPlan describes how a recovery attempt should run.
+type RecoveryPlan struct {
+	// Workers is the worker count for the recovery run: the original count
+	// clamped to what the surviving host can execute.
+	Workers int
+	// Restore is the checkpoint to resume from, remapped to Workers when
+	// that differs from the cut's worker count; nil means from scratch.
+	Restore *pdes.Checkpoint
+	// Clamped reports that Workers is smaller than the original because of
+	// the surviving host's capacity.
+	Clamped bool
+	// Migrated reports that the checkpoint was regrouped: the dead nodes'
+	// LPs migrate onto the surviving workers instead of a full-shape absorb.
+	Migrated bool
+}
+
+// PlanRecovery computes the shape of an absorb attempt on a surviving host
+// with avail executable cores (runtime.GOMAXPROCS(0) for the local machine).
+// origWorkers is the primary run's Config.Workers. The checkpoint, when one
+// exists and the clamped worker count differs from its cut, is migrated to
+// the new grouping with pdes.RemapCheckpoint.
+func PlanRecovery(sys *pdes.System, ck *pdes.Checkpoint, origWorkers, avail int, part pdes.Partition) (*RecoveryPlan, error) {
+	if origWorkers < 1 {
+		return nil, fmt.Errorf("supervise: original worker count %d out of range", origWorkers)
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	workers := origWorkers
+	clamped := false
+	if workers > avail {
+		workers, clamped = avail, true
+	}
+	if n := sys.NumLPs(); workers > n {
+		workers = n
+	}
+	plan := &RecoveryPlan{Workers: workers, Restore: ck, Clamped: clamped}
+	if ck != nil && workers != ck.Workers {
+		remapped, err := pdes.RemapCheckpoint(ck, sys, workers, part)
+		if err != nil {
+			return nil, fmt.Errorf("supervise: migrating the checkpoint to %d workers: %w", workers, err)
+		}
+		plan.Restore = remapped
+		plan.Migrated = true
+	}
+	return plan, nil
+}
+
+// SurvivorWorkers applies the on-death policy matrix: when at least minNodes
+// nodes (never fewer than two) survive a death, the recovery runs with the
+// workers those survivors hosted — the dead node's LPs migrate onto them —
+// otherwise it falls back to a full absorb at the original worker count.
+// survivorHosted counts the worker endpoints the surviving nodes host.
+func SurvivorWorkers(orig, survivorHosted, survivors, minNodes int) (workers int, migrate bool) {
+	if minNodes < 2 {
+		minNodes = 2
+	}
+	if survivors < minNodes || survivorHosted < 1 || survivorHosted >= orig {
+		return orig, false
+	}
+	return survivorHosted, true
+}
+
+// RecordPlan stores (or updates) the shape of an attempt in the log; the
+// RunFunc calls it once it has planned the attempt.
+func (s *Supervisor) RecordPlan(attempt int, p *RecoveryPlan) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.attempt(attempt)
+	a.Workers, a.Clamped, a.Migrated = p.Workers, p.Clamped, p.Migrated
+}
+
+// Log returns a copy of the attempt log.
+func (s *Supervisor) Log() []Attempt {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Attempt(nil), s.log...)
+}
+
+// attempt returns the log entry for an attempt, creating it if needed.
+// Callers hold s.mu.
+func (s *Supervisor) attempt(n int) *Attempt {
+	for i := range s.log {
+		if s.log[i].N == n {
+			return &s.log[i]
+		}
+	}
+	s.log = append(s.log, Attempt{N: n})
+	return &s.log[len(s.log)-1]
+}
+
+func (s *Supervisor) recordOutcome(n int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := s.attempt(n)
+	if err != nil {
+		a.Err = err.Error()
+	} else {
+		a.Err = ""
+	}
 }
 
 // Checkpoint records the most recent cut; safe for concurrent use with Run.
@@ -74,6 +195,7 @@ func (s *Supervisor) Run(run RunFunc) (*pdes.Result, error) {
 	var lastErr error
 	for attempt := 0; attempt <= max; attempt++ {
 		res, err := run(attempt, s.Latest())
+		s.recordOutcome(attempt, err)
 		if err == nil {
 			return res, nil
 		}

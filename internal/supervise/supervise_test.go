@@ -286,6 +286,163 @@ func TestFailoverBudgetExhausted(t *testing.T) {
 	}
 }
 
+// TestPlanRecoveryClampAndRemap pins the recovery-shape arithmetic: a
+// surviving host with fewer cores than the cut's workers gets a clamped
+// count and a migrated checkpoint; a roomy host keeps the original shape and
+// the original checkpoint object.
+func TestPlanRecoveryClampAndRemap(t *testing.T) {
+	var cks []*pdes.Checkpoint
+	cfg := pdes.Config{
+		Workers:          ringWorkers,
+		Protocol:         pdes.ProtoOptimistic,
+		GVTEvery:         64,
+		ThrottleWindow:   100,
+		CheckpointRounds: 1,
+		CheckpointSink:   func(ck *pdes.Checkpoint) error { cks = append(cks, ck); return nil },
+	}
+	if _, err := pdes.RunOn(buildRing(ringLPs, ringSeed), cfg, ringUntil, &memSink{},
+		pdes.NewLocalFabric(ringWorkers+1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) == 0 {
+		t.Fatal("no checkpoints were cut")
+	}
+	ck := cks[len(cks)/2]
+
+	sys := buildRing(ringLPs, ringSeed)
+	// Two cores: clamp 4 -> 2 and migrate the checkpoint.
+	plan, err := PlanRecovery(sys, ck, ringWorkers, 2, pdes.PartitionRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != 2 || !plan.Clamped || !plan.Migrated {
+		t.Fatalf("clamped plan wrong: %+v", plan)
+	}
+	if plan.Restore == ck || plan.Restore.Workers != 2 {
+		t.Fatalf("checkpoint not migrated: workers=%d", plan.Restore.Workers)
+	}
+	// Plenty of cores: original shape, original checkpoint, no migration.
+	plan, err = PlanRecovery(sys, ck, ringWorkers, 8, pdes.PartitionRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != ringWorkers || plan.Clamped || plan.Migrated || plan.Restore != ck {
+		t.Fatalf("unclamped plan wrong: %+v", plan)
+	}
+	// No checkpoint yet: from-scratch restart, still clamped.
+	plan, err = PlanRecovery(sys, nil, ringWorkers, 2, pdes.PartitionRoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Workers != 2 || !plan.Clamped || plan.Migrated || plan.Restore != nil {
+		t.Fatalf("from-scratch plan wrong: %+v", plan)
+	}
+}
+
+// TestSurvivorWorkers pins the on-death policy matrix.
+func TestSurvivorWorkers(t *testing.T) {
+	cases := []struct {
+		orig, hosted, survivors, minNodes int
+		workers                           int
+		migrate                           bool
+	}{
+		{4, 2, 2, 0, 2, true},  // 1 of 3 nodes dies, 2 survive: migrate
+		{4, 2, 1, 0, 4, false}, // hub alone: full absorb
+		{4, 2, 2, 3, 4, false}, // min-nodes 3 not met: full absorb
+		{4, 3, 3, 3, 3, true},  // min-nodes 3 met: migrate
+		{4, 0, 2, 0, 4, false}, // survivors host no workers: full absorb
+		{4, 4, 2, 0, 4, false}, // nothing was lost: keep the shape
+	}
+	for _, c := range cases {
+		w, m := SurvivorWorkers(c.orig, c.hosted, c.survivors, c.minNodes)
+		if w != c.workers || m != c.migrate {
+			t.Errorf("SurvivorWorkers(%d,%d,%d,%d) = (%d,%v), want (%d,%v)",
+				c.orig, c.hosted, c.survivors, c.minNodes, w, m, c.workers, c.migrate)
+		}
+	}
+}
+
+// TestFailoverMigratesToSurvivors is the kill-one-of-three chaos scenario
+// with migration instead of full absorb: the primary 4-worker run dies
+// mid-run, and the recovery — planned for a 2-core survivor — resumes from
+// the checkpoint remapped to 2 workers. The dead workers' LPs migrate onto
+// the survivors, the attempt log records the clamp and the migration, and
+// the final trace is byte-identical to the uninterrupted oracle.
+func TestFailoverMigratesToSurvivors(t *testing.T) {
+	want := oracle(t)
+	sup := &Supervisor{}
+	final := &atomicSink{}
+	migrated := false
+	run := func(attempt int, restore *pdes.Checkpoint) (*pdes.Result, error) {
+		sink := &memSink{}
+		final.set(sink)
+		cfg := pdes.Config{
+			Workers:          ringWorkers,
+			Protocol:         pdes.ProtoOptimistic,
+			GVTEvery:         64,
+			ThrottleWindow:   100,
+			CheckpointRounds: 1,
+			CheckpointSink: func(ck *pdes.Checkpoint) error {
+				sup.Checkpoint(ck)
+				return nil
+			},
+		}
+		if attempt == 0 {
+			sup.RecordPlan(0, &RecoveryPlan{Workers: ringWorkers})
+			eps, _ := faultinject.WrapFabric(pdes.NewLocalFabric(ringWorkers+1),
+				faultinject.Plan{Seed: 7, DieAfterSends: 300})
+			return pdes.RunOn(buildRing(ringLPs, ringSeed), cfg, ringUntil, sink, eps)
+		}
+		// The survivor has two cores: clamp and migrate.
+		plan, err := PlanRecovery(buildRing(ringLPs, ringSeed), restore, ringWorkers, 2, pdes.PartitionRoundRobin)
+		if err != nil {
+			return nil, err
+		}
+		sup.RecordPlan(attempt, plan)
+		migrated = migrated || plan.Migrated
+		cfg.Workers = plan.Workers
+		cfg.Restore = plan.Restore
+		return pdes.RunOn(buildRing(ringLPs, ringSeed), cfg, ringUntil, sink,
+			pdes.NewLocalFabric(plan.Workers+1))
+	}
+
+	done := make(chan struct{})
+	var (
+		res    *pdes.Result
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		res, runErr = sup.Run(run)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("failover run hung")
+	}
+	if runErr != nil {
+		t.Fatalf("supervised run failed: %v", runErr)
+	}
+	if res.GVT.Less(vtime.VT{PT: ringUntil}) {
+		t.Fatalf("recovered run stopped at GVT %v", res.GVT)
+	}
+	if !migrated {
+		t.Skip("the fabric died before the first checkpoint; migration path not exercised")
+	}
+	log := sup.Log()
+	if len(log) < 2 {
+		t.Fatalf("attempt log too short: %+v", log)
+	}
+	last := log[len(log)-1]
+	if last.Workers != 2 || !last.Clamped || !last.Migrated || last.Err != "" {
+		t.Fatalf("recovery attempt log entry wrong: %+v", last)
+	}
+	if first := log[0]; first.Err == "" {
+		t.Fatalf("primary attempt must log its death: %+v", first)
+	}
+	diffTrace(t, want, sortedLines(final.get().snapshot()))
+}
+
 // TestRecoverableClassification pins the retry predicate.
 func TestRecoverableClassification(t *testing.T) {
 	cases := []struct {

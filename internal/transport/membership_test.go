@@ -1,0 +1,254 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"govhdl/internal/faultinject"
+)
+
+// waitFor polls cond until it holds or the deadline passes. Membership is
+// wall-clock-driven (connection teardown, heartbeats), so its tests observe
+// convergence rather than exact interleavings.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+type viewLog struct {
+	mu    sync.Mutex
+	views []View
+}
+
+func (l *viewLog) add(v View) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.views = append(l.views, v)
+}
+
+func (l *viewLog) lastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.views) == 0 {
+		return 0
+	}
+	return l.views[len(l.views)-1].Epoch
+}
+
+// monotonic verifies the callback saw strictly increasing epochs.
+func (l *viewLog) monotonic() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 1; i < len(l.views); i++ {
+		if l.views[i].Epoch <= l.views[i-1].Epoch {
+			return false
+		}
+	}
+	return true
+}
+
+func findMember(v View, standby bool) (Member, bool) {
+	for _, m := range v.Members {
+		if m.Standby == standby {
+			return m, true
+		}
+	}
+	return Member{}, false
+}
+
+// TestMembershipLifecycle walks the full elastic arc: formation publishes
+// epoch 1, a standby join and its death each bump the epoch without failing
+// anyone, and a participant's death is recorded in the view before the node
+// fails.
+func TestMembershipLifecycle(t *testing.T) {
+	addr := freeAddr(t)
+	hubLog, peerLog := &viewLog{}, &viewLog{}
+	hb := WithHeartbeat(20*time.Millisecond, 500*time.Millisecond)
+
+	var hub *Node
+	var hubErr error
+	done := make(chan struct{})
+	go func() {
+		hub, hubErr = Listen(addr, 2, []int{0}, WithOnViewChange(hubLog.add), hb)
+		close(done)
+	}()
+	peer, err := Dial(addr, 2, []int{1}, WithOnViewChange(peerLog.add), hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if hubErr != nil {
+		t.Fatal(hubErr)
+	}
+	defer hub.Close()
+	defer peer.Close()
+
+	// Epoch 1: hub + participant, all alive.
+	v := hub.View()
+	if v.Epoch != 1 || len(v.Members) != 2 || v.AliveCount() != 2 {
+		t.Fatalf("formation view: %+v", v)
+	}
+	if v.Members[0].Hosted[0] != 0 || v.Members[1].Hosted[0] != 1 {
+		t.Fatalf("formation members misattributed: %+v", v.Members)
+	}
+	waitFor(t, "peer to receive the formation view", func() bool { return peer.View().Epoch >= 1 })
+
+	// A standby joins after formation: epoch bump, three members, no endpoints.
+	standby, err := DialStandby(addr, 2, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "hub to admit the standby", func() bool { return hub.View().Epoch >= 2 })
+	v = hub.View()
+	sb, ok := findMember(v, true)
+	if !ok || !sb.Alive || len(sb.Hosted) != 0 {
+		t.Fatalf("standby member wrong: %+v", v.Members)
+	}
+	waitFor(t, "peer to see the standby join", func() bool { return peer.View().Epoch >= 2 })
+	waitFor(t, "standby to learn the view", func() bool { return standby.View().Epoch >= 2 })
+
+	// Standby death: a view change, not a failure.
+	standby.Close()
+	waitFor(t, "hub to record the standby death", func() bool {
+		sb, ok := findMember(hub.View(), true)
+		return ok && !sb.Alive
+	})
+	if err := hub.Err(); err != nil {
+		t.Fatalf("standby death must not fail the hub: %v", err)
+	}
+	if err := peer.Err(); err != nil {
+		t.Fatalf("standby death must not fail the peer: %v", err)
+	}
+	waitFor(t, "peer to see the standby death", func() bool { return peer.View().Epoch >= 3 })
+
+	// Participant death: recorded in the view, then fatal.
+	peer.Close()
+	waitFor(t, "hub to fail on participant death", func() bool { return hub.Err() != nil })
+	v = hub.View()
+	if v.Members[1].Alive {
+		t.Fatalf("participant death not recorded in the view: %+v", v.Members)
+	}
+	if v.Epoch < 4 {
+		t.Fatalf("participant death must bump the epoch, got %d", v.Epoch)
+	}
+	if !hubLog.monotonic() || !peerLog.monotonic() {
+		t.Fatal("view callbacks must observe strictly increasing epochs")
+	}
+	if hubLog.lastEpoch() < 4 {
+		t.Fatalf("hub callback missed the death view, last epoch %d", hubLog.lastEpoch())
+	}
+}
+
+// TestStandbyJoinDuringFormation: a standby arriving before the cluster has
+// formed is admitted and appears in the epoch-1 view.
+func TestStandbyJoinDuringFormation(t *testing.T) {
+	addr := freeAddr(t)
+	var hub *Node
+	var hubErr error
+	done := make(chan struct{})
+	go func() {
+		hub, hubErr = Listen(addr, 2, []int{0}, WithMembership())
+		close(done)
+	}()
+	standby, err := DialStandby(addr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Close()
+	peer, err := Dial(addr, 2, []int{1}, WithMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	<-done
+	if hubErr != nil {
+		t.Fatal(hubErr)
+	}
+	defer hub.Close()
+
+	v := hub.View()
+	if v.Epoch != 1 || len(v.Members) != 3 {
+		t.Fatalf("formation view with early standby: %+v", v)
+	}
+	if _, ok := findMember(v, true); !ok {
+		t.Fatalf("standby missing from formation view: %+v", v.Members)
+	}
+}
+
+// TestDelayedStandbyJoin: a standby whose hello is held back (the
+// faultinject delayed-join mode) arrives after the cluster has formed and is
+// admitted by the hub's post-formation accept loop.
+func TestDelayedStandbyJoin(t *testing.T) {
+	addr := freeAddr(t)
+	var hub *Node
+	var hubErr error
+	done := make(chan struct{})
+	go func() {
+		hub, hubErr = Listen(addr, 2, []int{0}, WithMembership())
+		close(done)
+	}()
+	peer, err := Dial(addr, 2, []int{1}, WithMembership())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	<-done
+	if hubErr != nil {
+		t.Fatal(hubErr)
+	}
+	defer hub.Close()
+	if v := hub.View(); v.Epoch != 1 || len(v.Members) != 2 {
+		t.Fatalf("formation view: %+v", v)
+	}
+
+	wrap := WithConnWrapper(faultinject.Plan{JoinDelay: 60 * time.Millisecond}.Conn())
+	standby, err := DialStandby(addr, 2, wrap)
+	if err != nil {
+		t.Fatalf("delayed standby join failed: %v", err)
+	}
+	defer standby.Close()
+	waitFor(t, "delayed standby to appear in the view", func() bool {
+		sb, ok := findMember(hub.View(), true)
+		return ok && sb.Alive
+	})
+	if v := hub.View(); v.Epoch < 2 {
+		t.Fatalf("late join must bump the epoch: %+v", v)
+	}
+}
+
+// TestStandbyRejectedWithoutMembership: a hub running the fixed topology
+// refuses standby hellos with a diagnosis.
+func TestStandbyRejectedWithoutMembership(t *testing.T) {
+	addr := freeAddr(t)
+	var hub *Node
+	var hubErr error
+	done := make(chan struct{})
+	go func() {
+		hub, hubErr = Listen(addr, 2, []int{0})
+		close(done)
+	}()
+	if _, err := DialStandby(addr, 2); err == nil {
+		t.Fatal("standby admitted by a membership-disabled hub")
+	}
+	peer, err := Dial(addr, 2, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	<-done
+	if hubErr != nil {
+		t.Fatal(hubErr)
+	}
+	defer hub.Close()
+	if v := hub.View(); v.Epoch != 0 {
+		t.Fatalf("membership-disabled hub must keep the zero view, got %+v", v)
+	}
+}

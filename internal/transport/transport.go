@@ -18,6 +18,12 @@
 // error. There is no transparent reconnection; recovery is by restarting
 // the cluster from a GVT-consistent checkpoint (pdes.Checkpoint).
 //
+// The opt-in membership layer (membership.go) softens the edges of that
+// model: an epoch-numbered cluster view records joins and deaths, standby
+// members come and go without failing anyone, and a participant's death is
+// published as a view change before the node fails — so recovery policy
+// knows exactly what was lost.
+//
 // Every participating process must construct an identical System and Config
 // and call pdes.RunOn with its node's endpoints.
 package transport
@@ -74,19 +80,25 @@ var registerOnce sync.Once
 
 // wire is the on-the-wire envelope: either one message (M) or a coalesced
 // batch (Batch) for the same destination, framed and encoded as a single
-// value so a batch pays the encoder and syscall cost once.
+// value so a batch pays the encoder and syscall cost once. View rides only
+// on heartbeat frames (Dst == hbDst): membership updates never interleave
+// with simulation payload.
 type wire struct {
 	Dst   int
 	M     *pdes.Msg
 	Batch []*pdes.Msg
+	View  *View
 }
 
 // hello announces a joining process's hosted endpoints. The hub validates
-// every claim before admitting the connection.
+// every claim before admitting the connection. Standby marks a member that
+// hosts nothing yet (see DialStandby); it is only admissible when the hub
+// runs with membership enabled.
 type hello struct {
 	Version int
 	Total   int
 	Hosted  []int
+	Standby bool
 }
 
 // helloAck is the hub's verdict on a hello.
@@ -104,6 +116,8 @@ type options struct {
 	dialBackoffCap time.Duration
 	wrap           func(net.Conn) net.Conn
 	onError        func(error)
+	membership     bool
+	onView         func(View)
 }
 
 func defaultOptions() options {
@@ -156,6 +170,7 @@ type Node struct {
 
 	mu       sync.Mutex
 	conns    map[int]*conn // remote endpoint id -> connection that hosts it
+	live     []*conn       // every started connection, standbys included
 	firstErr error
 	lns      net.Listener
 
@@ -165,6 +180,12 @@ type Node struct {
 	closeOnce sync.Once
 	closed    atomic.Bool // deliberate shutdown: late conn errors are expected
 	wg        sync.WaitGroup
+
+	// Membership state (membership.go). members is hub-only: it maps each
+	// admitted connection to its index in view.Members.
+	viewMu  sync.Mutex
+	view    View
+	members map[*conn]int
 }
 
 // conn frames outbound gob values: each send encodes into a reusable buffer
@@ -178,6 +199,9 @@ type conn struct {
 	buf     bytes.Buffer
 	enc     *gob.Encoder // encodes into buf; stream state persists across frames
 	scratch []byte
+	// viewSent is the newest view epoch pushed over this connection (hub
+	// only); the heartbeat loop piggybacks the view when it lags.
+	viewSent atomic.Uint64
 }
 
 func newConn(c net.Conn) *conn {
@@ -250,10 +274,14 @@ func (fr *frameReader) Read(p []byte) (int, error) {
 // hostile peer, and fails the node rather than corrupting the run.
 func validateWire(w *wire, total int) error {
 	if w.Dst == hbDst {
+		// A heartbeat may carry a membership view, never simulation payload.
 		if w.M != nil || len(w.Batch) > 0 {
 			return fmt.Errorf("transport: heartbeat frame carries a payload")
 		}
 		return nil
+	}
+	if w.View != nil {
+		return fmt.Errorf("transport: frame for endpoint %d carries a membership view", w.Dst)
 	}
 	if w.Dst < 0 || w.Dst >= total {
 		return fmt.Errorf("transport: frame addressed to endpoint %d, outside [0,%d)", w.Dst, total)
@@ -418,7 +446,7 @@ func (n *Node) fail(err error) {
 		n.mu.Lock()
 		n.firstErr = err
 		lns := n.lns
-		conns := uniqueConns(n.conns)
+		conns := append([]*conn(nil), n.live...)
 		n.mu.Unlock()
 		close(n.failed)
 		if n.opts.onError != nil {
@@ -441,7 +469,7 @@ func (n *Node) Close() {
 		close(n.stopCh)
 		n.mu.Lock()
 		lns := n.lns
-		conns := uniqueConns(n.conns)
+		conns := append([]*conn(nil), n.live...)
 		n.mu.Unlock()
 		if lns != nil {
 			lns.Close()
@@ -451,18 +479,6 @@ func (n *Node) Close() {
 		}
 		n.wg.Wait()
 	})
-}
-
-func uniqueConns(m map[int]*conn) []*conn {
-	seen := make(map[*conn]bool, len(m))
-	out := make([]*conn, 0, len(m))
-	for _, cn := range m {
-		if cn != nil && !seen[cn] {
-			seen[cn] = true
-			out = append(out, cn)
-		}
-	}
-	return out
 }
 
 func newNode(total int, hosted []int, o options) *Node {
@@ -486,6 +502,9 @@ func newNode(total int, hosted []int, o options) *Node {
 // startConn begins draining (and, when enabled, heartbeating) an
 // established, handshaken connection.
 func (n *Node) startConn(cn *conn, dec *gob.Decoder) {
+	n.mu.Lock()
+	n.live = append(n.live, cn)
+	n.mu.Unlock()
 	n.wg.Add(1)
 	go n.drain(cn, dec)
 	if n.opts.hbInterval > 0 {
@@ -509,17 +528,20 @@ func (n *Node) drain(cn *conn, dec *gob.Decoder) {
 			if n.closed.Load() {
 				return // deliberate shutdown
 			}
-			n.fail(n.diagnose(err))
+			n.connDead(cn, n.diagnose(err))
 			return
 		}
 		if err := validateWire(&w, n.total); err != nil {
 			if n.closed.Load() {
 				return
 			}
-			n.fail(err)
+			n.connDead(cn, err)
 			return
 		}
 		if w.Dst == hbDst {
+			if w.View != nil {
+				n.applyView(w.View)
+			}
 			continue // heartbeat: deadline already refreshed
 		}
 		n.route(&w)
@@ -548,11 +570,15 @@ func (n *Node) heartbeat(cn *conn) {
 	for {
 		select {
 		case <-t.C:
-			if err := cn.send(&wire{Dst: hbDst}); err != nil {
+			v := n.viewForHeartbeat(cn)
+			if err := cn.send(&wire{Dst: hbDst, View: v}); err != nil {
 				if !n.closed.Load() {
-					n.fail(fmt.Errorf("transport: heartbeat send: %w", err))
+					n.connDead(cn, fmt.Errorf("transport: heartbeat send: %w", err))
 				}
 				return
+			}
+			if v != nil {
+				cn.viewSent.Store(v.Epoch)
 			}
 		case <-n.failed:
 			return
@@ -616,6 +642,10 @@ func (n *Node) vetHello(h *hello, claimed map[int]bool) error {
 // dialing process, validating each claim and rejecting (with a diagnosed
 // helloAck) dialers whose claims conflict — a rejection does not abort
 // cluster formation.
+//
+// With membership enabled (WithMembership / WithOnViewChange) the hub also
+// publishes the epoch-1 cluster view once formed and keeps accepting standby
+// joins afterwards; see membership.go.
 func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error) {
 	RegisterGob()
 	o := defaultOptions()
@@ -634,6 +664,14 @@ func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error)
 	}
 	n := newNode(total, hosted, o)
 	n.lns = ln
+	if o.membership {
+		// The hub itself is member 0 of every view.
+		n.view.Members = append(n.view.Members, Member{
+			Addr:   ln.Addr().String(),
+			Hosted: append([]int(nil), hosted...),
+			Alive:  true,
+		})
+	}
 
 	claimed := make(map[int]bool, total)
 	for _, id := range hosted {
@@ -661,6 +699,22 @@ func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error)
 			c.Close()
 			continue
 		}
+		if h.Standby && o.membership {
+			// A standby may join while the cluster is still forming.
+			if err := n.vetStandbyHello(&h); err != nil {
+				cn.send(&helloAck{Err: err.Error()})
+				c.Close()
+				continue
+			}
+			c.SetReadDeadline(time.Time{})
+			if err := cn.send(&helloAck{OK: true}); err != nil {
+				c.Close()
+				continue
+			}
+			n.addMember(cn, Member{Addr: c.RemoteAddr().String(), Alive: true, Standby: true})
+			n.startConn(cn, dec)
+			continue
+		}
 		if err := n.vetHello(&h, claimed); err != nil {
 			cn.send(&helloAck{Err: err.Error()})
 			c.Close()
@@ -677,7 +731,15 @@ func Listen(addr string, total int, hosted []int, opts ...Option) (*Node, error)
 			claimed[id] = true
 		}
 		n.mu.Unlock()
+		if o.membership {
+			n.addMember(cn, Member{Addr: c.RemoteAddr().String(), Hosted: append([]int(nil), h.Hosted...), Alive: true})
+		}
 		n.startConn(cn, dec)
+	}
+	if o.membership {
+		n.initView()
+		n.wg.Add(1)
+		go n.acceptLoop()
 	}
 	return n, nil
 }
