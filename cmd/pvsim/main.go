@@ -21,19 +21,16 @@
 package main
 
 import (
-	"encoding/gob"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
-	"syscall"
 	"time"
 
 	"govhdl/internal/circuits"
+	"govhdl/internal/ckptio"
 	"govhdl/internal/faultinject"
 	"govhdl/internal/kernel"
 	"govhdl/internal/pdes"
@@ -67,6 +64,7 @@ type runOpts struct {
 	hbTimeout  time.Duration
 
 	ckptFile string
+	ckptKeep int
 
 	maxFailovers int
 
@@ -107,6 +105,7 @@ func main() {
 	flag.DurationVar(&o.hbTimeout, "hb-timeout", 5*time.Second, "distributed: declare a silent peer dead after this long")
 
 	flag.StringVar(&o.ckptFile, "checkpoint-file", "", "write a GVT-consistent checkpoint (with the trace-so-far) to this file, atomically, at every cut")
+	flag.IntVar(&o.ckptKeep, "checkpoint-keep", 3, "checkpoint generations to keep on disk (file, file.1, ...); -restore falls back past corrupt newer generations")
 	flag.IntVar(&o.CkptRounds, "checkpoint-rounds", 0, "committed GVT rounds between checkpoint cuts (default 1 when -checkpoint-file is set; pass the same value to every distributed process)")
 	flag.StringVar(&o.Restore, "restore", "", "resume from a checkpoint file written by -checkpoint-file (every distributed process needs the file)")
 
@@ -186,82 +185,10 @@ func runVet(o runOpts) int {
 	return 0
 }
 
-// checkpointFile is the on-disk restart image: the engine checkpoint plus
-// the trace committed up to the cut, so a restored run ends with the same
-// complete trace an uninterrupted run would have produced.
-type checkpointFile struct {
-	Ckpt  *pdes.Checkpoint
-	Trace []trace.Entry
-	// Shards and Partition record the sharding the run was started with, so
-	// -restore rebuilds an identical shard system without the user having to
-	// repeat (or risk contradicting) the flags. Zero values — absent in
-	// files written before sharding existed — mean an unsharded run.
-	Shards    int
-	Partition string
-}
-
-// writeCheckpointFile writes atomically: encode to a temp file, fsync it,
-// rename over the target, then fsync the parent directory so the rename
-// itself is durable. A crash at any step leaves either the previous good
-// checkpoint or the complete new one — never a torn file, and never a
-// directory entry pointing at unsynced data.
-func writeCheckpointFile(path string, ck *pdes.Checkpoint, entries []trace.Entry, shards int, partition string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := gob.NewEncoder(f).Encode(&checkpointFile{Ckpt: ck, Trace: entries, Shards: shards, Partition: partition}); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-// Filesystems that refuse to sync directories (some network mounts) are
-// tolerated: the rename is still atomic, just not yet durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
-		return err
-	}
-	return nil
-}
-
-func readCheckpointFile(path string) (*checkpointFile, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	var cf checkpointFile
-	if err := gob.NewDecoder(f).Decode(&cf); err != nil {
-		return nil, fmt.Errorf("corrupt checkpoint file %s: %w", path, err)
-	}
-	if cf.Ckpt == nil {
-		return nil, fmt.Errorf("checkpoint file %s holds no checkpoint", path)
-	}
-	return &cf, nil
-}
+// Checkpoint files are written through internal/ckptio: a versioned,
+// sha256-framed container written atomically, with the previous cuts kept
+// as a generation lineage (-checkpoint-keep) so a corrupt or torn latest
+// image falls back to the newest generation that still verifies.
 
 func run(o runOpts) error {
 	// buildDesign is reusable so -compare can construct an identical fresh
@@ -404,19 +331,28 @@ func run(o runOpts) error {
 		// The checkpoint carries the committed prefix as replayable per-LP
 		// logs: the restored run re-emits the full trace itself, so the
 		// recorder starts empty (and failover seeds from the same cut).
-		cf, err := readCheckpointFile(o.Restore)
+		// SeedFromLineage verifies the frame checksum and falls back past
+		// torn or corrupted newer generations; every skipped generation is
+		// surfaced — a corrupt latest checkpoint deserves attention even
+		// when an older one recovers the run.
+		cf, gen, skipped, err := sup.SeedFromLineage(o.Restore)
 		if err != nil {
 			return err
 		}
-		sup.Checkpoint(cf.Ckpt)
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "pvsim: checkpoint generation skipped: %v\n", s)
+		}
+		if gen != o.Restore {
+			fmt.Fprintf(os.Stderr, "pvsim: newest checkpoint unusable; falling back to generation %s\n", gen)
+		}
 		// Sharding is part of the checkpoint's identity: the cut was taken
 		// over shard-level LPs, so the restored system must be sharded the
 		// same way (Validate rejects explicit flags with -restore).
 		o.Shards, o.Partition = cf.Shards, cf.Partition
 		if o.Shards > 0 {
-			fmt.Printf("restoring from %s (GVT %v, round %d, %d shards)\n", o.Restore, cf.Ckpt.GVT, cf.Ckpt.Round, o.Shards)
+			fmt.Printf("restoring from %s (GVT %v, round %d, %d shards)\n", gen, cf.Ckpt.GVT, cf.Ckpt.Round, o.Shards)
 		} else {
-			fmt.Printf("restoring from %s (GVT %v, round %d)\n", o.Restore, cf.Ckpt.GVT, cf.Ckpt.Round)
+			fmt.Printf("restoring from %s (GVT %v, round %d)\n", gen, cf.Ckpt.GVT, cf.Ckpt.Round)
 		}
 	}
 
@@ -497,7 +433,9 @@ func run(o runOpts) error {
 			acfg.CheckpointSink = func(ck *pdes.Checkpoint) error {
 				sup.Checkpoint(ck)
 				if o.ckptFile != "" {
-					return writeCheckpointFile(o.ckptFile, ck, rec.Entries(), o.Shards, o.Partition)
+					return ckptio.Write(o.ckptFile, o.ckptKeep, &ckptio.File{
+						Ckpt: ck, Trace: rec.Entries(), Shards: o.Shards, Partition: o.Partition,
+					})
 				}
 				return nil
 			}

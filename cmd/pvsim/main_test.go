@@ -6,9 +6,13 @@ import (
 	"strings"
 	"testing"
 
+	"govhdl/internal/ckptio"
+	"govhdl/internal/faultinject"
 	"govhdl/internal/pdes"
 	"govhdl/internal/runopts"
+	"govhdl/internal/supervise"
 	"govhdl/internal/trace"
+	"govhdl/internal/transport"
 	"govhdl/internal/vtime"
 )
 
@@ -62,67 +66,76 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 }
 
-// TestCheckpointFileAtomicity covers the crash window between writing the
-// temp file and renaming it: a leftover (even corrupt) .tmp must never be
-// read, the previous good checkpoint must survive, and the next successful
-// write must clean up and replace everything.
-func TestCheckpointFileAtomicity(t *testing.T) {
+// TestCheckpointLineageThroughCLI covers pvsim's ckptio wiring: the sink's
+// writes rotate a generation lineage, a torn .tmp from a crashed write never
+// leaks into a read, and -restore's SeedFromLineage falls back past a
+// corrupted newest generation to the previous cut.
+func TestCheckpointLineageThroughCLI(t *testing.T) {
+	transport.RegisterGob()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "run.ck")
 	tmp := path + ".tmp"
 
 	ckA := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 100}, Workers: 2, NumLPs: 4}
-	if err := writeCheckpointFile(path, ckA, nil, 0, ""); err != nil {
+	if err := ckptio.Write(path, 3, &ckptio.File{Ckpt: ckA}); err != nil {
 		t.Fatalf("write A: %v", err)
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
 		t.Fatalf("temp file survived a successful write: %v", err)
-	}
-	got, err := readCheckpointFile(path)
-	if err != nil {
-		t.Fatalf("read A: %v", err)
-	}
-	if got.Ckpt.GVT != ckA.GVT {
-		t.Fatalf("read back GVT %v, want %v", got.Ckpt.GVT, ckA.GVT)
 	}
 
 	// Simulate a crash mid-write: garbage .tmp next to the good file.
 	if err := os.WriteFile(tmp, []byte("torn half-written checkpoint"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err = readCheckpointFile(path)
+	got, err := ckptio.Read(path)
 	if err != nil {
 		t.Fatalf("good checkpoint unreadable with a torn .tmp present: %v", err)
 	}
-	if got.Ckpt.GVT != ckA.GVT {
+	if !got.Ckpt.GVT.Equal(ckA.GVT) {
 		t.Fatalf("torn .tmp leaked into the read: GVT %v", got.Ckpt.GVT)
 	}
 
-	// The next write must supersede both the old image and the torn temp,
-	// and round-trip the sharding metadata -restore depends on.
+	// The next write rotates A into generation 1, supersedes the torn temp,
+	// and round-trips the sharding metadata -restore depends on.
 	ckB := &pdes.Checkpoint{Format: 1, GVT: vtime.VT{PT: 200}, Workers: 2, NumLPs: 4}
-	if err := writeCheckpointFile(path, ckB, []trace.Entry{{LP: 1, TS: vtime.VT{PT: 50}, Item: "x"}}, 4, "topo"); err != nil {
+	if err := ckptio.Write(path, 3, &ckptio.File{
+		Ckpt: ckB, Trace: []trace.Entry{{LP: 1, TS: vtime.VT{PT: 50}, Item: "x"}},
+		Shards: 4, Partition: "topo",
+	}); err != nil {
 		t.Fatalf("write B over torn tmp: %v", err)
 	}
 	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
 		t.Fatalf("temp file survived write B: %v", err)
 	}
-	got, err = readCheckpointFile(path)
+	got, err = ckptio.Read(path)
 	if err != nil {
 		t.Fatalf("read B: %v", err)
 	}
-	if got.Ckpt.GVT != ckB.GVT || len(got.Trace) != 1 {
+	if !got.Ckpt.GVT.Equal(ckB.GVT) || len(got.Trace) != 1 {
 		t.Fatalf("read back GVT %v with %d entries, want %v with 1", got.Ckpt.GVT, len(got.Trace), ckB.GVT)
 	}
 	if got.Shards != 4 || got.Partition != "topo" {
 		t.Fatalf("sharding metadata = (%d, %q), want (4, \"topo\")", got.Shards, got.Partition)
 	}
 
-	// A corrupt main image must be diagnosed, not silently zero-valued.
-	if err := os.WriteFile(path, []byte("not gob"), 0o644); err != nil {
+	// Corrupt the newest image: the restore path must reject it with a
+	// positioned diagnosis and fall back to generation 1 (checkpoint A).
+	if err := faultinject.CorruptFile(path, 3, 48, 8); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := readCheckpointFile(path); err == nil || !strings.Contains(err.Error(), "corrupt checkpoint") {
+	if _, err := ckptio.Read(path); err == nil || !strings.Contains(err.Error(), "sha256") {
 		t.Fatalf("corrupt file error = %v", err)
+	}
+	sup := &supervise.Supervisor{}
+	cf, gen, skipped, err := sup.SeedFromLineage(path)
+	if err != nil {
+		t.Fatalf("SeedFromLineage: %v", err)
+	}
+	if gen != ckptio.GenPath(path, 1) || !cf.Ckpt.GVT.Equal(ckA.GVT) {
+		t.Fatalf("recovered %v from %s, want checkpoint A from generation 1", cf.Ckpt.GVT, gen)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v, want exactly the corrupt newest generation", skipped)
 	}
 }

@@ -108,6 +108,9 @@ func DefaultConfig() *Config {
 			"govhdl/internal/server",
 			"govhdl/internal/trace",
 			"govhdl/internal/supervise",
+			"govhdl/internal/circuits",
+			"govhdl/internal/chaos",
+			"govhdl/internal/ckptio",
 			FixturePrefix + "/nondet_core",
 			FixturePrefix + "/maprange_core",
 		},

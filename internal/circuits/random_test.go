@@ -1,0 +1,103 @@
+package circuits
+
+import (
+	"fmt"
+	"testing"
+
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
+)
+
+func TestRandomLPCountNearTarget(t *testing.T) {
+	for _, target := range []int{1000, 2000, 10000} {
+		c := BuildRandom(RandomOpts{Seed: 1, LPs: target})
+		got := c.LPs()
+		// The generator sizes against the budget; allow a small constant
+		// slack for rounding (gate count floors, clamped pieces).
+		if got < target*9/10 || got > target*11/10 {
+			t.Errorf("target %d LPs, built %d", target, got)
+		}
+		t.Log(c)
+	}
+}
+
+// The same seed must produce the identical circuit; a different seed must
+// not. Structure is compared through the LP count plus the committed
+// sequential trace (which covers wiring, delays, and stimulus).
+func TestRandomDeterministicBySeed(t *testing.T) {
+	seqTrace := func(seed uint64) (int, []string) {
+		c := BuildRandom(RandomOpts{Seed: seed, LPs: 600, Cycles: 6})
+		sys := c.Design.Build()
+		rec := trace.NewRecorder()
+		if _, err := pdes.RunSequential(sys, c.DefaultHorizon, rec); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := c.Verify(c.DefaultHorizon); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return c.LPs(), rec.Lines(sys)
+	}
+	lpA1, trA1 := seqTrace(7)
+	lpA2, trA2 := seqTrace(7)
+	lpB, trB := seqTrace(8)
+	if lpA1 != lpA2 {
+		t.Fatalf("seed 7 built %d then %d LPs", lpA1, lpA2)
+	}
+	if fmt.Sprint(trA1) != fmt.Sprint(trA2) {
+		t.Fatalf("seed 7 is not trace-deterministic")
+	}
+	if lpA1 == lpB && fmt.Sprint(trA1) == fmt.Sprint(trB) {
+		t.Fatalf("seeds 7 and 8 built identical circuits")
+	}
+}
+
+func TestRandomSequentialVerifies(t *testing.T) {
+	cases := []RandomOpts{
+		{Seed: 3, LPs: 800},
+		{Seed: 4, LPs: 800, DelayDist: Dist{Min: 1, Max: 3}},
+		{Seed: 5, LPs: 800, FanoutDist: Dist{Min: 2, Max: 6}, CyclesAllowed: true},
+	}
+	for _, opts := range cases {
+		t.Run(fmt.Sprintf("seed%d", opts.Seed), func(t *testing.T) {
+			c := BuildRandom(opts)
+			if _, err := pdes.RunSequential(c.Design.Build(), c.DefaultHorizon, nil); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if err := c.Verify(c.DefaultHorizon); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRandomParallelMatchesSequential(t *testing.T) {
+	build := func() *Circuit {
+		return BuildRandom(RandomOpts{Seed: 11, LPs: 900, CyclesAllowed: true, Cycles: 8})
+	}
+	ref := build()
+	sysRef := ref.Design.Build()
+	want := trace.NewRecorder()
+	if _, err := pdes.RunSequential(sysRef, ref.DefaultHorizon, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Verify(ref.DefaultHorizon); err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []pdes.Protocol{pdes.ProtoConservative, pdes.ProtoOptimistic, pdes.ProtoDynamic} {
+		t.Run(fmt.Sprint(proto), func(t *testing.T) {
+			c := build()
+			sys := c.Design.Build()
+			got := trace.NewRecorder()
+			if _, err := pdes.Run(sys, pdes.Config{Workers: 3, Protocol: proto, GVTEvery: 256},
+				c.DefaultHorizon, got); err != nil {
+				t.Fatal(err)
+			}
+			if ok, diff := trace.Equal(sys, want, got); !ok {
+				t.Fatalf("trace mismatch: %s", diff)
+			}
+			if err := c.Verify(c.DefaultHorizon); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package ckptio
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"govhdl/internal/faultinject"
+	"govhdl/internal/pdes"
+	"govhdl/internal/trace"
+	"govhdl/internal/transport"
+	"govhdl/internal/vtime"
+)
+
+func sampleFile(round uint64) *File {
+	return &File{
+		Ckpt: &pdes.Checkpoint{
+			Format:  1,
+			GVT:     vtime.VT{PT: vtime.Time(round) * 10, LT: 0},
+			Round:   round,
+			Workers: 2,
+			NumLPs:  3,
+			Modes:   []pdes.Mode{pdes.Conservative, pdes.Optimistic, pdes.Conservative},
+			Blobs:   [][]byte{nil, []byte("worker-1"), []byte("worker-2")},
+		},
+		Trace: []trace.Entry{
+			{LP: 0, TS: vtime.VT{PT: 1}, Item: fmt.Sprintf("round %d", round)},
+			{LP: 1, TS: vtime.VT{PT: 2}, Item: "beta"},
+		},
+		Shards:    2,
+		Partition: "bfs",
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	transport.RegisterGob()
+	path := filepath.Join(t.TempDir(), "ck.gvcp")
+	want := sampleFile(7)
+	if err := Write(path, 3, want); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Ckpt.Round != 7 || got.Shards != 2 || got.Partition != "bfs" || len(got.Trace) != 2 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if !got.Ckpt.GVT.Equal(want.Ckpt.GVT) {
+		t.Fatalf("GVT mismatch: got %v want %v", got.Ckpt.GVT, want.Ckpt.GVT)
+	}
+	if got.Trace[0].Item != "round 7" {
+		t.Fatalf("trace item mismatch: %v", got.Trace[0].Item)
+	}
+}
+
+// Every kind of damage must be rejected with a positioned *Error, never a
+// decode of garbage.
+func TestDecodeRejectsDamage(t *testing.T) {
+	transport.RegisterGob()
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleFile(1)); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   string // substring of the error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated header"},
+		{"short header", func(b []byte) []byte { return b[:10] }, "truncated header"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"legacy gob", func(b []byte) []byte { b[0] = 0x1f; return b }, "pre-framing"},
+		{"bad version", func(b []byte) []byte { b[7] = 99; return b }, "frame version 99"},
+		{"torn payload", func(b []byte) []byte { return b[:len(b)-5] }, "torn payload"},
+		{"flipped bit", func(b []byte) []byte { b[len(b)-1] ^= 0x40; return b }, "sha256"},
+		{"flipped early byte", func(b []byte) []byte { b[headerLen+2] ^= 0x01; return b }, "sha256"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mutate(append([]byte(nil), good...))
+			_, err := Decode(bytes.NewReader(b), "test.gvcp")
+			if err == nil {
+				t.Fatalf("damage accepted")
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not *ckptio.Error: %v", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "test.gvcp") {
+				t.Fatalf("error %q does not name the file", err)
+			}
+		})
+	}
+}
+
+func TestGenerationRotation(t *testing.T) {
+	transport.RegisterGob()
+	path := filepath.Join(t.TempDir(), "ck.gvcp")
+	for round := uint64(1); round <= 5; round++ {
+		if err := Write(path, 3, sampleFile(round)); err != nil {
+			t.Fatalf("Write round %d: %v", round, err)
+		}
+	}
+	// keep=3: rounds 5, 4, 3 survive as gen 0, 1, 2; older are gone.
+	for n, wantRound := range []uint64{5, 4, 3} {
+		f, err := Read(GenPath(path, n))
+		if err != nil {
+			t.Fatalf("gen %d: %v", n, err)
+		}
+		if f.Ckpt.Round != wantRound {
+			t.Fatalf("gen %d holds round %d, want %d", n, f.Ckpt.Round, wantRound)
+		}
+	}
+	if _, err := os.Stat(GenPath(path, 3)); !os.IsNotExist(err) {
+		t.Fatalf("generation past keep bound still exists")
+	}
+}
+
+func TestRecoverFallsBackToVerifiableGeneration(t *testing.T) {
+	transport.RegisterGob()
+	path := filepath.Join(t.TempDir(), "ck.gvcp")
+	for round := uint64(1); round <= 3; round++ {
+		if err := Write(path, 3, sampleFile(round)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	// Corrupt the newest generation: flip a payload byte.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x10
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, gen, skipped, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if gen != GenPath(path, 1) {
+		t.Fatalf("recovered from %s, want generation 1", gen)
+	}
+	if f.Ckpt.Round != 2 {
+		t.Fatalf("recovered round %d, want 2 (previous generation)", f.Ckpt.Round)
+	}
+	if len(skipped) != 1 || !strings.Contains(skipped[0].Error(), "sha256") {
+		t.Fatalf("skipped = %v, want one sha256 failure", skipped)
+	}
+}
+
+func TestRecoverAllCorrupt(t *testing.T) {
+	transport.RegisterGob()
+	path := filepath.Join(t.TempDir(), "ck.gvcp")
+	for round := uint64(1); round <= 2; round++ {
+		if err := Write(path, 2, sampleFile(round)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	for n := 0; n < 2; n++ {
+		p := GenPath(path, n)
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[headerLen] ^= 0xff
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, _, err := Recover(path)
+	if err == nil {
+		t.Fatalf("Recover accepted a fully corrupt lineage")
+	}
+	if !strings.Contains(err.Error(), "no verifiable generation") {
+		t.Fatalf("error %q does not diagnose the lineage", err)
+	}
+}
+
+func TestRecoverMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.gvcp")
+	_, _, _, err := Recover(path)
+	if !os.IsNotExist(err) {
+		t.Fatalf("want IsNotExist for a missing lineage, got %v", err)
+	}
+}
+
+// The faultinject corrupt-checkpoint-bytes mode must defeat verification and
+// the lineage must then fall back — the unit-level form of the chaos
+// checkpoint-churn leg.
+func TestRecoverAfterFaultinjectCorruption(t *testing.T) {
+	transport.RegisterGob()
+	path := filepath.Join(t.TempDir(), "ck.gvcp")
+	for round := uint64(1); round <= 2; round++ {
+		if err := Write(path, 2, sampleFile(round)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := faultinject.CorruptFile(path, 42, headerLen, 8); err != nil {
+		t.Fatalf("CorruptFile: %v", err)
+	}
+	f, gen, skipped, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if gen != GenPath(path, 1) || f.Ckpt.Round != 1 {
+		t.Fatalf("recovered gen=%s round=%d, want previous generation round 1", gen, f.Ckpt.Round)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped %d generations, want 1", len(skipped))
+	}
+}

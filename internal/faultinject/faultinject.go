@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -295,4 +296,34 @@ func (e *faultEndpoint) TryRecv() (*pdes.Msg, bool) {
 	default:
 	}
 	return e.Endpoint.TryRecv()
+}
+
+// CorruptFile flips nbytes pseudo-random bytes of the file at path, seeded so
+// the damage is replayable. It skips the first skip bytes (set skip to the
+// frame header size to corrupt only the payload, or 0 to allow header damage
+// too) and never produces a no-op: each chosen byte is XORed with a non-zero
+// mask. This is the corrupt-checkpoint-bytes fault: it models bit rot, a torn
+// copy, or a partial overwrite of the newest checkpoint generation, and
+// exists to prove that restore rejects the damaged file and falls back to the
+// previous generation.
+func CorruptFile(path string, seed int64, skip, nbytes int) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip >= len(b) {
+		return fmt.Errorf("faultinject: corrupt %s: skip %d >= file size %d", path, skip, len(b))
+	}
+	if nbytes < 1 {
+		nbytes = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < nbytes; i++ {
+		off := skip + rng.Intn(len(b)-skip)
+		b[off] ^= byte(1 + rng.Intn(255))
+	}
+	return os.WriteFile(path, b, 0o644)
 }

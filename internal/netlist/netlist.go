@@ -36,6 +36,13 @@ func (b *Builder) Design() *kernel.Design { return b.design }
 // GateDelay returns the configured gate delay.
 func (b *Builder) GateDelay() vtime.Time { return b.delay }
 
+// SetDelay changes the inertial delay applied to gates created after the
+// call, and the min-delay lookahead hint of wires declared after it (a
+// wire's hint must not overstate its driver's delay, so declare each wire
+// while the delay of the gate that will drive it is in effect). The
+// clock-to-Q delay of storage elements stays as configured at New.
+func (b *Builder) SetDelay(d vtime.Time) { b.delay = d }
+
 func (b *Builder) autoName(prefix string) string {
 	b.n++
 	return fmt.Sprintf("%s%d", prefix, b.n)

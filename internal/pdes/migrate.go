@@ -289,9 +289,13 @@ func RemapCheckpoint(ck *Checkpoint, sys *System, workers int, part Partition) (
 }
 
 // migForwardWindow is the number of GVT rounds after a migration cut during
-// which the old owner forwards messages for moved LPs instead of treating a
-// misrouted message as fatal. The barrier protocol flips every routing table
-// before anyone resumes, so forwarding is a backstop, not a steady state.
+// which forwarding a moved LP's messages is considered nominal. The barrier
+// protocol flips every routing table before anyone resumes, so forwarding is
+// a backstop, not a steady state — but a straggler can still arrive after
+// the window closes (delayed wires, storms of back-to-back cuts), and the
+// flipped ownership table stays authoritative forever, so late arrivals are
+// forwarded too and merely counted as LateForwards rather than dropped or
+// treated as fatal.
 const migForwardWindow = 4
 
 // --- worker side -----------------------------------------------------------

@@ -740,11 +740,17 @@ func (w *worker) routeEvent(e *Event) {
 	dbgID(w, "route", e, "")
 	lp := w.lps[e.Dst]
 	if lp == nil {
-		// Within the handoff window after a migration cut, chase a moved LP
-		// to its new owner instead of dying: a message can legitimately race
-		// the cut (e.g. sent by a worker that resumed an instant earlier).
-		if o := w.owner[e.Dst]; o != w.ep.Self() && w.migRound > 0 && w.roundNo-w.migRound <= migForwardWindow {
+		// After a migration cut, chase a moved LP to its new owner instead of
+		// dying: a message can legitimately race the cut (e.g. sent by a
+		// worker that resumed an instant earlier). The flipped ownership
+		// table is authoritative, so forwarding stays correct however late
+		// the straggler is — arrivals past the nominal window are counted
+		// separately, not dropped or treated as fatal.
+		if o := w.owner[e.Dst]; o != w.ep.Self() && w.migRound > 0 {
 			w.metrics.ForwardedMsgs.Add(1)
+			if w.roundNo-w.migRound > migForwardWindow {
+				w.metrics.LateForwards.Add(1)
+			}
 			m := w.msgPool.get()
 			m.Kind, m.Ev = msgEvent, e
 			w.sendMsg(o, m)
@@ -907,8 +913,11 @@ func (w *worker) sendNulls(lp *lpRT) {
 func (w *worker) routeNull(src, dst LPID, ts vtime.VT) {
 	lp := w.lps[dst]
 	if lp == nil {
-		if o := w.owner[dst]; o != w.ep.Self() && w.migRound > 0 && w.roundNo-w.migRound <= migForwardWindow {
+		if o := w.owner[dst]; o != w.ep.Self() && w.migRound > 0 {
 			w.metrics.ForwardedMsgs.Add(1)
+			if w.roundNo-w.migRound > migForwardWindow {
+				w.metrics.LateForwards.Add(1)
+			}
 			m := w.msgPool.get()
 			m.Kind, m.Src, m.Dst, m.TS = msgNull, src, dst, ts
 			w.sendMsg(o, m)

@@ -83,6 +83,7 @@ type Server struct {
 	sem   chan struct{} // worker-pool slots
 
 	mu       sync.Mutex
+	draining bool // set by Shutdown: stop advertising readiness
 	sessions map[string]*session
 	order    []string // creation order, for stable listings
 	nextID   int
@@ -122,11 +123,27 @@ func (sv *Server) Cache() *Cache { return sv.cache }
 // log, where cancellation is observed) deterministically.
 func (sv *Server) Shutdown() {
 	sv.mu.Lock()
+	sv.draining = true // /readyz flips to 503 for the whole drain window
 	for _, id := range sv.order {
 		sv.sessions[id].sim.Cancel()
 	}
 	sv.mu.Unlock()
 	sv.wg.Wait()
+}
+
+// Ready reports whether the server should receive new traffic: it is not
+// draining and the admission queue has room. The reason explains a false
+// verdict ("draining", "queue full").
+func (sv *Server) Ready() (bool, string) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	switch {
+	case sv.draining:
+		return false, "draining"
+	case sv.queued >= sv.cfg.QueueDepth:
+		return false, "queue full"
+	}
+	return true, "ready"
 }
 
 // Handler returns the HTTP API.
@@ -141,6 +158,18 @@ func (sv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", sv.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	// /healthz is pure liveness (the process serves HTTP); /readyz is the
+	// load-balancer signal: 503 once Shutdown has begun draining, or while
+	// the admission queue is full, so orchestrators stop routing new
+	// sessions here while in-flight ones finish.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		ok, reason := sv.Ready()
+		if !ok {
+			http.Error(w, reason, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, reason)
 	})
 	return mux
 }

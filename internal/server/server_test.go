@@ -361,6 +361,90 @@ func TestServerQueueFull(t *testing.T) {
 	}
 }
 
+func readyz(t *testing.T, ts *httptest.Server) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, strings.TrimSpace(string(b))
+}
+
+// TestServerReadyz: /readyz is the routing signal, distinct from /healthz
+// liveness — 200 on an idle server, 503 while the admission queue is full,
+// and 503 for good once Shutdown starts draining.
+func TestServerReadyz(t *testing.T) {
+	sv, ts := newTestServer(t, Config{MaxSessions: 1, QueueDepth: 1})
+
+	if code, body := readyz(t, ts); code != http.StatusOK || body != "ready" {
+		t.Fatalf("idle /readyz = %d %q, want 200 ready", code, body)
+	}
+
+	// Fill the single run slot, then the single queue slot: the probe must
+	// flip to 503 "queue full" while admission would be refused.
+	req := SessionRequest{
+		Circuit: "fsm", Protocol: "opt", Workers: 2,
+		Until: "1000ms", Deadline: "60s",
+	}
+	running := submit(t, ts, req)
+	var queued SessionReply
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rep, code := trySubmit(t, ts, req)
+		if code == http.StatusAccepted {
+			sv.mu.Lock()
+			full := sv.queued >= sv.cfg.QueueDepth
+			sv.mu.Unlock()
+			if full {
+				queued = rep
+				break
+			}
+			// The previous submit already started running; this one took
+			// the queue slot's place — keep it and try once more.
+			running, queued = rep, SessionReply{}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+	}
+	if code, body := readyz(t, ts); code != http.StatusServiceUnavailable || body != "queue full" {
+		t.Errorf("full-queue /readyz = %d %q, want 503 queue full", code, body)
+	}
+
+	for _, id := range []string{running.ID, queued.ID} {
+		if id == "" {
+			continue
+		}
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/cancel", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		waitFinished(t, ts, id)
+	}
+	if code, body := readyz(t, ts); code != http.StatusOK || body != "ready" {
+		t.Errorf("post-drain /readyz = %d %q, want 200 ready again", code, body)
+	}
+
+	// SIGTERM path: govhdld calls Shutdown before closing the listener, so
+	// the probe must stop advertising readiness while sessions drain.
+	sv.Shutdown()
+	if code, body := readyz(t, ts); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Errorf("draining /readyz = %d %q, want 503 draining", code, body)
+	}
+	// Liveness stays green throughout the drain.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", resp.StatusCode)
+	}
+}
+
 // TestServerVCDStream: the streamed dump has the upfront header and the
 // change records of the whole run.
 func TestServerVCDStream(t *testing.T) {

@@ -83,6 +83,7 @@ type Metrics struct {
 	Migrations    atomic.Uint64 // LPs moved between workers at migration cuts
 	ViewChanges   atomic.Uint64 // cluster view epochs observed (membership churn + migration cuts)
 	ForwardedMsgs atomic.Uint64 // messages re-routed to an LP's new owner during handoff
+	LateForwards  atomic.Uint64 // forwards arriving after the nominal handoff window closed
 }
 
 // Snapshot is a plain-value copy of Metrics for reporting.
@@ -94,6 +95,7 @@ type Snapshot struct {
 	StateSaves, Fossils, Blocked, OrphanAntis   uint64
 	MemThrottled, Cancelbacks, StallRescues     uint64
 	Migrations, ViewChanges, ForwardedMsgs      uint64
+	LateForwards                                uint64
 }
 
 // Snapshot copies the counters.
@@ -120,6 +122,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Migrations:    m.Migrations.Load(),
 		ViewChanges:   m.ViewChanges.Load(),
 		ForwardedMsgs: m.ForwardedMsgs.Load(),
+		LateForwards:  m.LateForwards.Load(),
 	}
 }
 
@@ -146,6 +149,9 @@ func (s Snapshot) String() string {
 	}
 	if s.Migrations != 0 || s.ForwardedMsgs != 0 {
 		out += fmt.Sprintf(" migrations=%d viewchanges=%d forwarded=%d", s.Migrations, s.ViewChanges, s.ForwardedMsgs)
+	}
+	if s.LateForwards != 0 {
+		out += fmt.Sprintf(" lateforwards=%d", s.LateForwards)
 	}
 	return out
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"govhdl/internal/ckptio"
 	"govhdl/internal/pdes"
 )
 
@@ -176,6 +177,23 @@ func (s *Supervisor) Checkpoint(ck *pdes.Checkpoint) {
 	s.mu.Lock()
 	s.latest = ck
 	s.mu.Unlock()
+}
+
+// SeedFromLineage primes the supervisor from an on-disk checkpoint lineage:
+// it loads the newest generation under path whose frame verifies (falling
+// back past torn or corrupted newer generations instead of dying on them),
+// installs its checkpoint as the restore point for the next attempt, and
+// returns the full file (trace prefix, sharding) along with the generation
+// actually used and the verification errors of every generation skipped on
+// the way — the caller should surface those, a corrupt latest checkpoint is
+// worth an operator's attention even when recovery succeeds.
+func (s *Supervisor) SeedFromLineage(path string) (f *ckptio.File, gen string, skipped []error, err error) {
+	f, gen, skipped, err = ckptio.Recover(path)
+	if err != nil {
+		return nil, "", skipped, err
+	}
+	s.Checkpoint(f.Ckpt)
+	return f, gen, skipped, nil
 }
 
 // Latest returns the most recent checkpoint, or nil before the first cut.
